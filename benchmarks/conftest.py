@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Macro benchmarks run the figure experiments at reduced scale (the
+full-scale reproductions are the ``pool-bench`` CLI's job and are
+recorded in EXPERIMENTS.md); micro benchmarks time the hot kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import PoolSystem
+from repro.dim.index import DimIndex
+from repro.events.generators import generate_events
+from repro.network.network import Network
+from repro.network.topology import deploy_uniform
+
+
+@pytest.fixture(scope="session")
+def topo900():
+    """The paper's fixed-size network (Figure 7 setting)."""
+    return deploy_uniform(900, seed=42)
+
+
+@pytest.fixture(scope="session")
+def loaded_pool(topo900):
+    """A Pool system pre-loaded with 3 events per node."""
+    system = PoolSystem(Network(topo900), 3, seed=42)
+    for event in generate_events(2700, 3, seed=43, sources=list(topo900)):
+        system.insert(event)
+    return system
+
+
+@pytest.fixture(scope="session")
+def loaded_dim(topo900):
+    """A DIM baseline pre-loaded with the same workload."""
+    system = DimIndex(Network(topo900), 3)
+    for event in generate_events(2700, 3, seed=43, sources=list(topo900)):
+        system.insert(event)
+    return system

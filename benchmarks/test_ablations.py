@@ -1,0 +1,110 @@
+"""Ablation benches (DESIGN.md §3): design-choice studies beyond the paper."""
+
+from __future__ import annotations
+
+from repro.bench.ablations import run_hotspot_ablation, run_routing_ablation
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import render_result
+from repro.bench.workloads import ExperimentConfig
+from repro.events.generators import QueryWorkload
+
+
+def test_abl_insert_cost_parity(benchmark):
+    """Paper §5.2: insertion is 'conceptually the same' for both systems."""
+    config = ExperimentConfig(
+        name="abl-insert-bench",
+        title="insertion cost parity (bench scale)",
+        network_sizes=(300, 900),
+        query_workloads=(
+            QueryWorkload(dimensions=3, range_sizes="exponential"),
+        ),
+        query_count=5,
+        trials=1,
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment(config, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))
+    workload = result.rows[0].workload
+    for size in (300, 900):
+        pool_hops = result.cell("pool", size, workload).mean_insert_hops
+        dim_hops = result.cell("dim", size, workload).mean_insert_hops
+        assert 0.4 < pool_hops / dim_hops < 2.5, (
+            f"insert hop ratio out of band at n={size}"
+        )
+
+
+def test_abl_splitter_routing(benchmark):
+    """Routing via the splitter vs a direct tree from the sink."""
+    config = ExperimentConfig(
+        name="abl-splitter-bench",
+        title="splitter vs direct forwarding (bench scale)",
+        network_sizes=(600,),
+        query_workloads=(
+            QueryWorkload(dimensions=3, range_sizes="uniform", label="exact"),
+        ),
+        query_count=15,
+        trials=1,
+        systems=("pool", "pool-direct"),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment(config, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))
+    via = result.cell("pool", 600, "exact").mean_cost
+    direct = result.cell("pool-direct", 600, "exact").mean_cost
+    # The splitter detour must stay a small constant factor.
+    assert via < 1.5 * direct
+
+
+def test_abl_side_length(benchmark):
+    """Pool side length l: query cost across l in {5, 10, 20}."""
+    config = ExperimentConfig(
+        name="abl-l-bench",
+        title="side length sweep (bench scale)",
+        network_sizes=(600,),
+        query_workloads=(
+            QueryWorkload(dimensions=3, range_sizes="uniform", label="exact"),
+        ),
+        query_count=15,
+        trials=1,
+        systems=("pool-l5", "pool-l10", "pool-l20"),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment(config, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))
+    costs = {
+        system: result.cell(system, 600, "exact").mean_cost
+        for system in config.systems
+    }
+    # Finer grids visit more cells per query: cost must not shrink with l.
+    assert costs["pool-l20"] > costs["pool-l5"]
+
+
+def test_abl_hotspot(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_hotspot_ablation(size=600, capacity=24, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    loads = {row[0]: int(row[1]) for row in table.rows}
+    assert loads["pool (sharing)"] < loads["pool (no sharing)"]
+
+
+def test_abl_routing(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_routing_ablation(size=400, samples=100, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    densest = table.rows[-1]
+    done, total = densest[2].split("/")
+    assert done == total, "GPSR must deliver everything at paper density"

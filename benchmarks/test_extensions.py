@@ -1,0 +1,137 @@
+"""Benches for the extension features: k-NN, aggregates, continuous
+queries, replication/failure recovery, and the non-DCS baselines."""
+
+from __future__ import annotations
+
+from repro.aggregates import AggregateKind
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import Table, render_result
+from repro.bench.workloads import ExperimentConfig
+from repro.core.continuous import ContinuousQueryService
+from repro.core.knn import nearest_neighbors
+from repro.core.replication import ReplicationPolicy
+from repro.core.system import PoolSystem
+from repro.events.generators import QueryWorkload, generate_events
+from repro.events.queries import RangeQuery
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+from repro.network.topology import deploy_uniform
+
+
+def test_knn_cost_pool_vs_dim(benchmark, loaded_pool, loaded_dim):
+    """k-NN inherits Pool's pruning: cheaper expanding rounds than DIM."""
+    targets = [(0.3, 0.4, 0.5), (0.8, 0.2, 0.6), (0.55, 0.52, 0.1)]
+
+    def run():
+        costs = {}
+        for name, store in (("pool", loaded_pool), ("dim", loaded_dim)):
+            costs[name] = sum(
+                nearest_neighbors(store, 0, target, k=5).total_cost
+                for target in targets
+            )
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("k-NN total cost (3 targets, k=5)", ["system", "messages"])
+    for name, cost in costs.items():
+        table.add(name, cost)
+    print()
+    print(table.render())
+    assert costs["pool"] < costs["dim"]
+
+
+def test_aggregate_cost_matches_range_query(benchmark, loaded_pool):
+    """In-network aggregation rides the same tree as the range query."""
+    query = RangeQuery.of((0.2, 0.6), (0.1, 0.7), (0.0, 0.9))
+
+    def run():
+        agg = loaded_pool.aggregate(0, query, dimension=1, kind=AggregateKind.AVG)
+        rng = loaded_pool.query(0, query)
+        return agg, rng
+
+    agg, rng = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert agg.total_cost == rng.total_cost
+    assert agg.count == rng.match_count
+
+
+def test_continuous_query_notification_overhead(benchmark, topo900):
+    """Per-insert push cost of a standing query vs plain inserts."""
+
+    def run():
+        pool = PoolSystem(Network(topo900), 3, seed=7)
+        service = ContinuousQueryService(pool)
+        sub = service.register(0, RangeQuery.partial(3, {0: (0.9, 1.0)}))
+        events = generate_events(900, 3, seed=8, sources=list(topo900))
+        for event in events:
+            pool.insert(event)
+        return sub, service.notify_cost(), len(events)
+
+    sub, notify_cost, inserted = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{inserted} inserts -> {sub.notifications} notifications, "
+          f"{notify_cost} NOTIFY messages "
+          f"({notify_cost / inserted:.2f}/insert)")
+    assert sub.notifications > 0
+    # Only matching inserts pay: overhead well below one message/insert
+    # for a selective standing query.
+    assert notify_cost / inserted < 1.0
+
+
+def test_replication_and_recovery_costs(benchmark, topo900):
+    """What durability costs at insert time and buys at failure time."""
+
+    def run():
+        pool = PoolSystem(
+            Network(topo900), 3, seed=7,
+            replication=ReplicationPolicy(replicas=1),
+        )
+        events = generate_events(1800, 3, seed=9, sources=list(topo900))
+        for event in events:
+            pool.insert(event)
+        replicate = pool.network.stats.count(MessageCategory.REPLICATE)
+        replica_nodes = {
+            n for nodes in pool._replica_nodes.values() for n in nodes
+        }
+        holders = {
+            segment.node
+            for store in pool._stores.values()
+            for segment in store.segments
+        }
+        victims = sorted(holders - replica_nodes)[:15]
+        report = pool.handle_failures(victims)
+        return replicate, report
+
+    replicate, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nreplication: {replicate} copy messages at insert; "
+          f"failure of {len(report.failed_nodes)} holders -> "
+          f"{report.events_recovered} recovered, {report.events_lost} lost")
+    assert report.fully_recovered
+
+
+def test_baselines_sweep(benchmark):
+    """Pool/DIM vs flooding/external at two sizes (abl-baselines scaled)."""
+    config = ExperimentConfig(
+        name="abl-baselines-bench",
+        title="classical baselines (bench scale)",
+        network_sizes=(300,),
+        query_workloads=(
+            QueryWorkload(dimensions=3, range_sizes="exponential",
+                          label="exact/exponential"),
+        ),
+        query_count=15,
+        trials=1,
+        systems=("pool", "dim", "flooding", "external"),
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment(config, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))
+    label = "exact/exponential"
+    flood = result.cell("flooding", 300, label).mean_cost
+    pool = result.cell("pool", 300, label).mean_cost
+    external = result.cell("external", 300, label).mean_cost
+    assert flood >= 300          # flooding always pays >= n
+    assert pool < flood
+    assert external < pool       # reads are free at the warehouse...
+    ext_insert = result.cell("external", 300, label).mean_insert_hops
+    assert ext_insert > 0        # ...but every write pays transport

@@ -1,0 +1,80 @@
+"""Figure 6 regeneration benches: exact-match query cost vs network size.
+
+Each bench runs a reduced-scale slice of the paper's sweep (full scale:
+``pool-bench fig6a`` / ``pool-bench fig6b``), prints the series the figure
+plots, and asserts the paper's qualitative claims:
+
+* 6(a): DIM's cost grows with network size; Pool stays nearly flat and
+  cheaper at every size.
+* 6(b): with exponential range sizes both cost far less; ordering holds.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import render_result
+from repro.bench.workloads import ExperimentConfig
+from repro.events.generators import QueryWorkload
+
+SIZES = (150, 450, 900)
+
+
+def _config(name: str, range_sizes: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=name,
+        title=f"{name} (bench scale)",
+        network_sizes=SIZES,
+        query_workloads=(
+            QueryWorkload(dimensions=3, range_sizes=range_sizes,  # type: ignore[arg-type]
+                          label=f"exact/{range_sizes}"),
+        ),
+        query_count=15,
+        trials=1,
+    )
+
+
+def _assert_fig6_shape(result) -> None:
+    pool = [cost for _, cost in result.series("pool")]
+    dim = [cost for _, cost in result.series("dim")]
+    for size, (p, d) in zip(SIZES, zip(pool, dim)):
+        assert p < d, f"Pool must beat DIM at n={size}"
+    assert dim[-1] > 1.3 * dim[0], "DIM cost must grow with network size"
+    assert pool[-1] / pool[0] < dim[-1] / dim[0], "Pool must scale better"
+
+
+def test_fig6a_uniform_range_sizes(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(_config("fig6a", "uniform"), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_result(result))
+    _assert_fig6_shape(result)
+
+
+def test_fig6b_exponential_range_sizes(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(_config("fig6b", "exponential"), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_result(result))
+    _assert_fig6_shape(result)
+
+
+def test_fig6_exponential_cheaper_than_uniform(benchmark):
+    """The cross-panel claim: 6(b) sits far below 6(a) for both systems."""
+
+    def run_both():
+        uniform = run_experiment(_config("fig6a", "uniform"), seed=0)
+        exponential = run_experiment(_config("fig6b", "exponential"), seed=0)
+        return uniform, exponential
+
+    uniform, exponential = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for system in ("pool", "dim"):
+        for (size, u_cost), (_, e_cost) in zip(
+            uniform.series(system), exponential.series(system)
+        ):
+            assert e_cost < u_cost, f"{system} at n={size}"

@@ -1,0 +1,84 @@
+"""Figure 7 regeneration benches: partial-match query costs at n=900.
+
+Full scale: ``pool-bench fig7a`` / ``pool-bench fig7b``.  Claims:
+
+* 7(a): DIM costs a multiple of Pool on 1-partial queries and the gap
+  widens on 2-partial queries.
+* 7(b): DIM is worst when dimension 1 is unspecified, improving toward
+  1@3; Pool is flat and cheaper everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import render_result
+from repro.bench.workloads import ExperimentConfig
+from repro.events.generators import QueryWorkload
+
+SIZE = 900
+
+
+def _partial(unspecified, label) -> QueryWorkload:
+    return QueryWorkload(
+        dimensions=3, kind="partial", unspecified=unspecified, label=label
+    )
+
+
+FIG7A = ExperimentConfig(
+    name="fig7a-bench",
+    title="Figure 7(a) (bench scale)",
+    network_sizes=(SIZE,),
+    query_workloads=(_partial(1, "1-partial"), _partial(2, "2-partial")),
+    query_count=25,
+    trials=1,
+)
+
+FIG7B = ExperimentConfig(
+    name="fig7b-bench",
+    title="Figure 7(b) (bench scale)",
+    network_sizes=(SIZE,),
+    query_workloads=(
+        _partial((0,), "1@1-partial"),
+        _partial((1,), "1@2-partial"),
+        _partial((2,), "1@3-partial"),
+    ),
+    query_count=25,
+    trials=1,
+)
+
+
+def test_fig7a_partial_match_degree(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(FIG7A, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))
+    ratio_1 = (
+        result.cell("dim", SIZE, "1-partial").mean_cost
+        / result.cell("pool", SIZE, "1-partial").mean_cost
+    )
+    ratio_2 = (
+        result.cell("dim", SIZE, "2-partial").mean_cost
+        / result.cell("pool", SIZE, "2-partial").mean_cost
+    )
+    assert ratio_1 > 1.5, "DIM must cost a multiple of Pool on 1-partial"
+    assert ratio_2 > ratio_1, "the gap must widen for vaguer queries"
+
+
+def test_fig7b_unspecified_dimension_order(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(FIG7B, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(render_result(result))
+    dim_costs = [
+        result.cell("dim", SIZE, f"1@{n}-partial").mean_cost for n in (1, 2, 3)
+    ]
+    pool_costs = [
+        result.cell("pool", SIZE, f"1@{n}-partial").mean_cost for n in (1, 2, 3)
+    ]
+    assert dim_costs[0] > dim_costs[2], "DIM worst at 1@1, best at 1@3"
+    spread = (max(pool_costs) - min(pool_costs)) / max(pool_costs)
+    assert spread < 0.35, f"Pool must stay flat across 1@n (spread={spread:.2f})"
+    for pool_cost, dim_cost in zip(pool_costs, dim_costs):
+        assert pool_cost < dim_cost, "Pool must win at every 1@n"

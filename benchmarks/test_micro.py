@@ -1,0 +1,92 @@
+"""Microbenchmarks of the hot kernels.
+
+These time the pure-computation pieces a deployment would run constantly:
+Theorem 3.1 placement, Theorem 3.2/Algorithm 2 resolving, DIM's zone
+descent and decomposition, GPSR path computation and multicast grafting.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.insertion import placement_for
+from repro.core.resolve import relevant_offsets
+from repro.events.generators import exact_match_queries, generate_events
+from repro.events.queries import RangeQuery
+from repro.routing.gpsr import GPSRRouter
+from repro.routing.multicast import TreeBuilder
+
+EVENTS = generate_events(1000, 3, seed=1)
+QUERIES = exact_match_queries(200, 3, seed=2)
+PARTIAL = RangeQuery.partial(3, {2: (0.8, 0.84)})
+
+
+def test_placement_throughput(benchmark):
+    """Theorem 3.1: pure arithmetic, no search — must be microseconds."""
+    cycle = itertools.cycle(EVENTS)
+    benchmark(lambda: placement_for(next(cycle), 10))
+
+
+def test_resolve_throughput(benchmark):
+    """Algorithm 2 over all three Pools for one query."""
+    cycle = itertools.cycle(QUERIES)
+
+    def resolve_all_pools():
+        query = next(cycle)
+        return [relevant_offsets(query, pool, 10) for pool in range(3)]
+
+    benchmark(resolve_all_pools)
+
+
+def test_resolve_partial_match(benchmark):
+    benchmark(lambda: [relevant_offsets(PARTIAL, pool, 10) for pool in range(3)])
+
+
+def test_dim_zone_descent(benchmark, loaded_dim):
+    cycle = itertools.cycle(EVENTS)
+    tree = loaded_dim.tree
+    benchmark(lambda: tree.leaf_for_values(next(cycle).values))
+
+
+def test_dim_query_decomposition(benchmark, loaded_dim):
+    cycle = itertools.cycle(QUERIES)
+    tree = loaded_dim.tree
+    benchmark(lambda: tree.zones_for_query(next(cycle)))
+
+
+def test_gpsr_route_uncached(benchmark, topo900):
+    router = GPSRRouter(topo900)
+    pairs = itertools.cycle([(0, 899), (13, 700), (400, 2), (555, 111)])
+    benchmark(lambda: router.route(*next(pairs)))
+
+
+def test_multicast_tree_build(benchmark, topo900):
+    router = GPSRRouter(topo900)
+    destinations = list(range(0, 900, 45))
+
+    def build():
+        builder = TreeBuilder(router, 450)
+        builder.add_destinations(destinations)
+        return builder.build()
+
+    benchmark(build)
+
+
+def test_pool_query_end_to_end(benchmark, loaded_pool):
+    cycle = itertools.cycle(QUERIES)
+    benchmark(lambda: loaded_pool.query(0, next(cycle)))
+
+
+def test_dim_query_end_to_end(benchmark, loaded_dim):
+    cycle = itertools.cycle(QUERIES)
+    benchmark(lambda: loaded_dim.query(0, next(cycle)))
+
+
+def test_pool_insert_end_to_end(benchmark, loaded_pool):
+    cycle = itertools.cycle(EVENTS)
+    sources = itertools.cycle(range(0, 900, 7))
+    benchmark(lambda: loaded_pool.insert(next(cycle), source=next(sources)))
+
+
+def test_event_generation(benchmark):
+    benchmark(lambda: generate_events(1000, 3, seed=3))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Node failures: role re-election, replication, and what gets lost.
+
+Sensor nodes die — batteries drain, hardware fails.  The paper assumes
+reliable index nodes; this example shows the hardening the library adds:
+
+1. GPSR routes around failed nodes (perimeter mode handles the holes).
+2. Index-node roles re-elect deterministically ("closest alive node to
+   the cell center"), so survivors agree without coordination.
+3. With synchronous replication enabled, a dead index node's events are
+   restored from its cell's replica; without it, they are lost — and the
+   report says exactly how much.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Network,
+    PoolSystem,
+    RangeQuery,
+    ReplicationPolicy,
+    deploy_uniform,
+    generate_events,
+)
+from repro.network.messages import MessageCategory
+
+
+def build(topology, replicas: int):
+    pool = PoolSystem(
+        Network(topology),
+        dimensions=3,
+        seed=3,
+        replication=ReplicationPolicy(replicas=replicas),
+    )
+    events = generate_events(1500, 3, seed=4, sources=list(topology))
+    for event in events:
+        pool.insert(event)
+    return pool, events
+
+
+def main() -> None:
+    topology = deploy_uniform(500, seed=3)
+    sink = topology.closest_node(topology.field.center)
+    query = RangeQuery.partial(3, {0: (0.5, 0.9)})
+
+    for replicas in (0, 1):
+        pool, events = build(topology, replicas)
+        truth = sum(1 for e in events if query.matches(e))
+        replicate_msgs = pool.network.stats.count(MessageCategory.REPLICATE)
+        label = f"replicas={replicas}"
+        print(f"--- {label} "
+              f"(replication cost: {replicate_msgs} messages at insert time)")
+
+        # Fail 10 index nodes that currently hold data (their replicas,
+        # if any, survive — the independent-failure regime).
+        replica_nodes = {
+            n for nodes in pool._replica_nodes.values() for n in nodes
+        }
+        holders = {
+            segment.node
+            for store in pool._stores.values()
+            for segment in store.segments
+        }
+        victims = sorted(holders - replica_nodes)[:10]
+        report = pool.handle_failures(victims)
+        print(f"  failed {len(victims)} index nodes -> "
+              f"{report.segments_reassigned} segments re-homed, "
+              f"{report.events_recovered} events recovered, "
+              f"{report.events_lost} lost "
+              f"({report.recovery_messages} recovery messages)")
+
+        result = pool.query(sink, query)
+        print(f"  query afterwards: {result.match_count}/{truth} of the "
+              f"original matches"
+              + ("  (exact ✓)" if result.match_count == truth else
+                 "  (survivors only — no replicas to restore from)"))
+        print()
+
+    print("takeaway: replication converts permanent data loss into a "
+          "bounded, measured recovery cost; role re-election alone keeps "
+          "the index answering either way.")
+
+
+if __name__ == "__main__":
+    main()

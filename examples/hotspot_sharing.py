@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Hotspot relief: workload sharing under a skewed event distribution.
+
+A wildfire-style scenario: readings suddenly concentrate in a narrow
+value band (hot, dry, bright), which hammers the few index nodes owning
+that band.  This script shows the Section 4.2 workload-sharing mechanism
+flattening the per-node load, and what queries cost before/after.
+
+Run:  python examples/hotspot_sharing.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Network,
+    PoolSystem,
+    RangeQuery,
+    SharingPolicy,
+    deploy_uniform,
+    generate_events,
+)
+from repro.network.messages import MessageCategory
+
+
+def load_report(label: str, system: PoolSystem) -> None:
+    distribution = system.storage_distribution()
+    loads = sorted(distribution.values(), reverse=True)
+    total = sum(loads)
+    top = loads[0] if loads else 0
+    print(f"{label:<24} nodes storing: {len(loads):>4}   "
+          f"hottest node: {top:>5} events ({100 * top / total:.0f}% of all)")
+
+
+def main() -> None:
+    topology = deploy_uniform(900, seed=33)
+    sink = topology.closest_node(topology.field.center)
+
+    # Skewed workload: gaussian readings clustered around 0.7.
+    events = generate_events(
+        2700, 3, distribution="gaussian", seed=34, sources=list(topology)
+    )
+
+    # Same topology, same events — sharing off vs on.
+    baseline = PoolSystem(Network(topology), 3, seed=33)
+    shared = PoolSystem(
+        Network(topology),
+        3,
+        seed=33,
+        sharing=SharingPolicy(enabled=True, capacity=32),
+    )
+    for event in events:
+        baseline.insert(event)
+        shared.insert(event)
+
+    print("per-node storage load under a skewed (gaussian) workload:\n")
+    load_report("sharing disabled:", baseline)
+    load_report("sharing enabled:", shared)
+    sharing_msgs = shared.network.stats.count(MessageCategory.SHARING)
+    print(f"\nsharing overhead: {sharing_msgs} handoff messages "
+          f"({sharing_msgs / len(events):.2f} per inserted event)")
+
+    # Queries over the hot band still return identical, exact answers.
+    hot_query = RangeQuery.of((0.6, 0.8), (0.6, 0.8), (0.6, 0.8))
+    r_base = baseline.query(sink, hot_query)
+    r_shared = shared.query(sink, hot_query)
+    assert r_base.match_count == r_shared.match_count
+    print(f"\nhot-band query {hot_query}:")
+    print(f"  sharing disabled: {r_base.total_cost} messages, "
+          f"{r_base.match_count} matches")
+    print(f"  sharing enabled:  {r_shared.total_cost} messages, "
+          f"{r_shared.match_count} matches")
+    print("\n(the shared system touches a few extra delegate nodes per "
+          "query in exchange for bounding every node's storage/energy burn)")
+
+    # Energy rotation: the hottest cell hands off to a fresh node.
+    hottest = max(
+        shared._stores.items(), key=lambda kv: kv[1].total_events()
+    )
+    (pool_i, ho, vo), store = hottest
+    old = store.primary_node
+    new = shared.handoff_cell(pool_i, ho, vo)
+    print(f"\nenergy rotation: cell P{pool_i + 1}(HO={ho},VO={vo}) handed "
+          f"off node {old} -> node {new}; node {old} may now sleep")
+
+
+if __name__ == "__main__":
+    main()

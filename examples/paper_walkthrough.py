@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Walk through the paper's worked examples (Figures 1-5) numerically.
+
+Every table printed here is asserted against the paper's figures in the
+test suite; this script exists so a reader can see the machinery produce
+the published numbers.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import DimIndex, Network, RangeQuery, deploy_uniform
+from repro.core import Cell, PoolLayout, relevant_cells
+from repro.core.insertion import placement_for
+from repro.core.ranges import cell_value_ranges
+from repro.core.resolve import query_ranges_for_pool
+from repro.events import Event
+
+
+def figure_1_dim_zones() -> None:
+    """Figure 1: a small DIM network and its zone partition."""
+    print("=" * 72)
+    print("Figure 1 — DIM zone partition (8-node network)")
+    print("=" * 72)
+    topology = deploy_uniform(8, seed=4, target_degree=5)
+    network = Network(topology)
+    dim = DimIndex(network, dimensions=3)
+    print(f"{'zone code':<12} {'value ranges (d1, d2, d3)'}")
+    for leaf in sorted(dim.tree.leaves, key=lambda z: z.code):
+        ranges = ", ".join(f"[{lo:.3g},{hi:.3g}]" for lo, hi in leaf.value_box)
+        print(f"{leaf.code:<12} {{{ranges}}}  owner=node {leaf.owner}")
+    print("(straight binary descent; the paper's Figure 1(b) applies DIM's")
+    print(" reflection convention — an isomorphic partition, see DESIGN.md)")
+
+
+def figure_3_cell_ranges() -> None:
+    """Figure 3: horizontal/vertical ranges of every cell of P1 (l=5)."""
+    print("\n" + "=" * 72)
+    print("Figure 3 — Equation 1 value ranges of P1's cells (l = 5)")
+    print("=" * 72)
+    side = 5
+    for vo in reversed(range(side)):
+        row = []
+        for ho in range(side):
+            (_, _), (v_lo, v_hi) = cell_value_ranges(ho, vo, side)
+            row.append(f"[{v_lo:.2f},{v_hi:.2f})")
+        print("  ".join(f"{cell:<13}" for cell in row))
+    header = []
+    for ho in range(side):
+        (h_lo, h_hi), _ = cell_value_ranges(ho, 0, side)
+        header.append(f"[{h_lo:.1f},{h_hi:.1f})")
+    print("  ".join(f"{cell:<13}" for cell in header))
+    print("(columns: horizontal ranges; rows shown top-down like the figure)")
+
+
+def insertion_example() -> None:
+    """Section 3.1.2's example: E = <0.4, 0.3, 0.1> lands in C(3,4)."""
+    print("\n" + "=" * 72)
+    print("Insertion example — E = <0.4, 0.3, 0.1>, P1 pivot C(1,2), l = 5")
+    print("=" * 72)
+    event = Event.of(0.4, 0.3, 0.1)
+    placement = placement_for(event, side_length=5)
+    pool1 = PoolLayout(0, Cell(1, 2), 5)
+    cell = pool1.cell_at(placement.ho, placement.vo)
+    print(f"greatest value {event.greatest_value} in dimension d1={event.d1 + 1}"
+          f" -> store in P{placement.pool + 1}")
+    print(f"offsets (HO, VO) = ({placement.ho}, {placement.vo})"
+          f" -> global cell {cell!r} (paper: C(3,4))")
+
+
+def figures_4_and_5() -> None:
+    """Figures 4 & 5: relevant cells for the two example queries."""
+    pools = [
+        PoolLayout(0, Cell(1, 2), 5),
+        PoolLayout(1, Cell(2, 10), 5),
+        PoolLayout(2, Cell(7, 3), 5),
+    ]
+    for figure, query in (
+        ("Figure 4", RangeQuery.of((0.2, 0.3), (0.25, 0.35), (0.21, 0.24))),
+        ("Figure 5", RangeQuery.partial(3, {2: (0.8, 0.84)})),
+    ):
+        print("\n" + "=" * 72)
+        print(f"{figure} — relevant cells for {query}")
+        print("=" * 72)
+        for pool in pools:
+            derived = query_ranges_for_pool(query, pool.index)
+            cells = relevant_cells(query, pool)
+            h = derived.horizontal
+            v = derived.vertical
+            print(f"P{pool.index + 1}: R_H=[{h[0]:.2f},{h[1]:.2f}] "
+                  f"R_V=[{v[0]:.2f},{v[1]:.2f}] -> "
+                  f"{[repr(c) for c in cells] if cells else 'no relevant cells'}")
+
+
+def main() -> None:
+    figure_1_dim_zones()
+    figure_3_cell_ranges()
+    insertion_example()
+    figures_4_and_5()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Aggregate algebra for in-network aggregation.
+
+Section 3.2.3: "The aggregate operations, which are frequently seen in
+sensor network applications, can also be performed in each splitter so
+that the number of events to be sent through the path can be greatly
+reduced."  Section 4.1 further motivates the single-copy storage rule by
+aggregate correctness (duplicates would corrupt SUM/COUNT/AVG).
+
+This module is the pure algebra: partial states that merge associatively
+and commutatively, so any tree of combiners (cell → splitter → sink)
+yields the same answer as a centralized scan.  The storage systems
+evaluate partials at the data and combine along their reply trees.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.events.event import Event
+from repro.exceptions import QueryError, ValidationError
+
+__all__ = ["AggregateKind", "AggregateState", "aggregate_events"]
+
+
+class AggregateKind(enum.Enum):
+    """The SQL-style aggregates the paper names (SUM, COUNT, AVG) plus
+    the order statistics every sensor database supports."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateState:
+    """A mergeable partial aggregate over one attribute.
+
+    Carries enough for every :class:`AggregateKind` at once (sum, count,
+    min, max) — the few extra floats per reply are negligible next to a
+    radio header and let AVG compose correctly across merges.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    @classmethod
+    def of_value(cls, value: float) -> "AggregateState":
+        """The partial state of a single observation."""
+        return cls(count=1, total=value, minimum=value, maximum=value)
+
+    @classmethod
+    def of_events(cls, events: list[Event], dimension: int) -> "AggregateState":
+        """Fold a batch of events over one attribute dimension."""
+        state = cls()
+        for event in events:
+            state = state.merge(cls.of_value(event.values[dimension]))
+        return state
+
+    def merge(self, other: "AggregateState") -> "AggregateState":
+        """Combine two partials (associative, commutative, identity-safe)."""
+        return AggregateState(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def finalize(self, kind: AggregateKind) -> float:
+        """Extract the requested aggregate from the partial state.
+
+        Raises :class:`QueryError` for AVG/MIN/MAX over zero events
+        (COUNT and SUM are well defined as 0).
+        """
+        if kind is AggregateKind.COUNT:
+            return float(self.count)
+        if kind is AggregateKind.SUM:
+            return self.total
+        if self.is_empty:
+            raise QueryError(f"{kind} is undefined over zero qualifying events")
+        if kind is AggregateKind.AVG:
+            return self.total / self.count
+        if kind is AggregateKind.MIN:
+            return self.minimum
+        if kind is AggregateKind.MAX:
+            return self.maximum
+        raise ValidationError(f"unknown aggregate kind {kind!r}")  # pragma: no cover
+
+
+def aggregate_events(
+    events: list[Event], dimension: int, kind: AggregateKind
+) -> float:
+    """Centralized reference implementation (ground truth for tests)."""
+    if events and not 0 <= dimension < events[0].dimensions:
+        raise ValidationError(
+            f"aggregate dimension {dimension} outside the event space"
+        )
+    return AggregateState.of_events(events, dimension).finalize(kind)

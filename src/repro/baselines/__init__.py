@@ -1,0 +1,17 @@
+"""Canonical non-DCS storage baselines from the sensornet literature.
+
+The DCS papers (GHT, DIM, Pool) all position themselves against the two
+classical extremes, so we ship both for examples and ablations:
+
+* :class:`LocalStorageFlooding` — events stay at the detecting sensor;
+  queries flood the network and matches route back ("local storage").
+* :class:`ExternalStorage` — every event is shipped to the sink as it is
+  detected; queries are answered locally at the sink ("warehouse").
+
+Both implement the :class:`~repro.dcs.DataCentricStore` protocol.
+"""
+
+from repro.baselines.external import ExternalStorage
+from repro.baselines.flooding import LocalStorageFlooding
+
+__all__ = ["LocalStorageFlooding", "ExternalStorage"]

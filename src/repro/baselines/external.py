@@ -1,0 +1,90 @@
+"""External storage: ship everything to the sink.
+
+The other classical extreme: every detected event is immediately routed
+to a well-known sink node (the "warehouse"), so queries cost nothing but
+insertion pays a full cross-network unicast per event — prohibitive when
+events are plentiful and queries rare, which is the trade-off analysis in
+the GHT paper that DCS systems are built on.
+"""
+
+from __future__ import annotations
+
+from repro.dcs import InsertReceipt, QueryResult
+from repro.events.event import Event
+from repro.events.queries import RangeQuery
+from repro.exceptions import DimensionMismatchError
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+
+__all__ = ["ExternalStorage"]
+
+
+class ExternalStorage:
+    """Ship-to-sink baseline over a :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        Communication substrate.
+    dimensions:
+        Event dimensionality ``k``.
+    sink:
+        The warehouse node; defaults to the node nearest the field center
+        (where a base station would sit).
+    """
+
+    def __init__(
+        self, network: Network, dimensions: int, *, sink: int | None = None
+    ) -> None:
+        self.network = network
+        self.dimensions = dimensions
+        self.sink = (
+            sink
+            if sink is not None
+            else network.closest_node(network.topology.field.center)
+        )
+        self._events: list[Event] = []
+
+    # ------------------------------------------------------------------ #
+    # DataCentricStore protocol                                          #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, event: Event, source: int | None = None) -> InsertReceipt:
+        """Route the event from its detector to the warehouse node."""
+        if event.dimensions != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, event.dimensions)
+        src = source if source is not None else event.source
+        if src is None:
+            src = self.sink
+        path = self.network.unicast(MessageCategory.INSERT, src, self.sink)
+        self._events.append(event)
+        return InsertReceipt(
+            home_node=self.sink, hops=len(path) - 1, detail="warehouse"
+        )
+
+    def query(self, sink: int, query: RangeQuery) -> QueryResult:
+        """Scan the warehouse; only non-warehouse sinks pay transport."""
+        if query.dimensions != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
+        events = [event for event in self._events if query.matches(event)]
+        forward_cost = 0
+        reply_cost = 0
+        if sink != self.sink:
+            # The query travels to the warehouse and one aggregated reply
+            # comes back.
+            path = self.network.unicast(MessageCategory.QUERY_FORWARD, sink, self.sink)
+            forward_cost = len(path) - 1
+            self.network.stats.record(MessageCategory.QUERY_REPLY, forward_cost)
+            reply_cost = forward_cost
+        return QueryResult(
+            events=events,
+            forward_cost=forward_cost,
+            reply_cost=reply_cost,
+            visited_nodes=(self.sink,),
+            detail="warehouse",
+        )
+
+    @property
+    def stored_events(self) -> int:
+        """Total events held at the warehouse."""
+        return len(self._events)

@@ -1,0 +1,81 @@
+"""Local storage with query flooding.
+
+The zero-infrastructure baseline: a sensor stores its own readings, so
+insertion is free, and a query must reach *every* node because any node
+might hold a match.  Flooding cost model: each node rebroadcasts the
+query once (the standard controlled-flood), i.e. ``n`` transmissions;
+every node holding at least one qualifying event unicasts its matches
+back to the sink over GPSR.
+
+This is exactly the regime the DCS line of work (GHT §1, DIM §1, Pool §1)
+argues against for large networks: query cost scales linearly with ``n``
+regardless of selectivity.
+"""
+
+from __future__ import annotations
+
+from repro.dcs import InsertReceipt, QueryResult
+from repro.events.event import Event
+from repro.events.queries import RangeQuery
+from repro.exceptions import DimensionMismatchError
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+
+__all__ = ["LocalStorageFlooding"]
+
+
+class LocalStorageFlooding:
+    """Store-locally / flood-queries baseline over a :class:`Network`."""
+
+    def __init__(self, network: Network, dimensions: int) -> None:
+        self.network = network
+        self.dimensions = dimensions
+        self._storage: dict[int, list[Event]] = {}
+        self._event_count = 0
+
+    # ------------------------------------------------------------------ #
+    # DataCentricStore protocol                                          #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, event: Event, source: int | None = None) -> InsertReceipt:
+        """Keep the event at its detecting node — zero messages."""
+        if event.dimensions != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, event.dimensions)
+        src = source if source is not None else event.source
+        if src is None:
+            src = 0
+        self._storage.setdefault(src, []).append(event)
+        self._event_count += 1
+        return InsertReceipt(home_node=src, hops=0, detail="local")
+
+    def query(self, sink: int, query: RangeQuery) -> QueryResult:
+        """Flood the query, collect matches from every holding node."""
+        if query.dimensions != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
+        # Controlled flood: one broadcast per node reaches everyone.
+        forward_cost = self.network.size
+        self.network.stats.record(MessageCategory.QUERY_FORWARD, forward_cost)
+        events: list[Event] = []
+        reply_cost = 0
+        responders: list[int] = []
+        for node, stored in self._storage.items():
+            matches = [event for event in stored if query.matches(event)]
+            if not matches:
+                continue
+            events.extend(matches)
+            responders.append(node)
+            if node != sink:
+                path = self.network.unicast(MessageCategory.QUERY_REPLY, node, sink)
+                reply_cost += len(path) - 1
+        return QueryResult(
+            events=events,
+            forward_cost=forward_cost,
+            reply_cost=reply_cost,
+            visited_nodes=tuple(sorted(responders)),
+            detail="flood",
+        )
+
+    @property
+    def stored_events(self) -> int:
+        """Total events currently stored."""
+        return self._event_count

@@ -1,0 +1,26 @@
+"""Benchmark harness: regenerate every figure of the paper's evaluation.
+
+* :mod:`repro.bench.workloads` — declarative experiment configurations
+  (network sweep × query workloads × systems).
+* :mod:`repro.bench.harness` — the runner that deploys, loads and queries
+  each system and aggregates per-query message costs.
+* :mod:`repro.bench.experiments` — the registry: ``fig6a``, ``fig6b``,
+  ``fig7a``, ``fig7b`` plus the ablations from DESIGN.md.
+* :mod:`repro.bench.reporting` — ASCII tables and JSON export.
+* :mod:`repro.bench.cli` — the ``pool-bench`` command.
+"""
+
+from repro.bench.workloads import ExperimentConfig
+from repro.bench.harness import ExperimentResult, ResultRow, run_experiment
+from repro.bench.experiments import EXPERIMENTS, get_experiment
+from repro.bench.reporting import Table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ResultRow",
+    "run_experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "Table",
+]

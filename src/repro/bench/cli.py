@@ -1,0 +1,121 @@
+"""``pool-bench`` — regenerate the paper's figures from the command line.
+
+Examples
+--------
+::
+
+    pool-bench list                     # show every experiment
+    pool-bench fig6a                    # full-scale Figure 6(a)
+    pool-bench fig7a --scale 0.3        # quick pass at 30% workload
+    pool-bench all --json results.json  # every figure + ablations
+    pool-bench abl-hotspot              # skew/hotspot table
+    pool-bench abl-routing              # GPSR validation table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.ablations import run_hotspot_ablation, run_routing_ablation
+from repro.bench.experiments import EXPERIMENTS, get_experiment
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import render_result, to_json
+
+__all__ = ["main", "build_parser"]
+
+_SPECIAL = ("abl-hotspot", "abl-routing")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pool-bench",
+        description=(
+            "Reproduce the evaluation figures of 'Supporting "
+            "Multi-Dimensional Range Query for Sensor Networks' (ICDCS 2007)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment name (see 'pool-bench list'), 'all' for every "
+            "registry experiment, or one of: " + ", ".join(_SPECIAL)
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor in (0, 1]; 1.0 = paper scale",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="override trial count"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="also write results as JSON"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    return parser
+
+
+def _progress(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name, config in sorted(EXPERIMENTS.items()):
+            print(f"  {name:12s} {config.title}")
+        for name in _SPECIAL:
+            print(f"  {name:12s} (special ablation runner)")
+        return 0
+
+    if args.experiment == "abl-hotspot":
+        print(run_hotspot_ablation(seed=args.seed).render())
+        return 0
+    if args.experiment == "abl-routing":
+        print(run_routing_ablation(seed=args.seed).render())
+        return 0
+
+    if args.experiment == "all":
+        names = sorted(EXPERIMENTS)
+    else:
+        names = [args.experiment]
+
+    results = []
+    for name in names:
+        config = get_experiment(name)
+        if args.scale != 1.0:
+            config = config.scaled(args.scale)
+        if args.trials is not None:
+            from dataclasses import replace
+
+            config = replace(config, trials=args.trials)
+        started = time.time()
+        result = run_experiment(
+            config,
+            seed=args.seed,
+            progress=None if args.quiet else _progress,
+        )
+        elapsed = time.time() - started
+        print(render_result(result))
+        print(f"({name} finished in {elapsed:.1f}s)\n")
+        results.append(result)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(to_json(results))
+        print(f"JSON written to {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

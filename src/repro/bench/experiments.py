@@ -1,0 +1,195 @@
+"""The experiment registry: one entry per paper figure, plus ablations.
+
+Figures 1–5 are worked examples reproduced exactly by unit tests (see
+DESIGN.md's experiment index); the entries here are the *simulation*
+figures, each encoding the paper's Section 5.1 parameters and the claim
+its reproduction is checked against.
+"""
+
+from __future__ import annotations
+
+from repro.bench.workloads import PAPER_NETWORK_SIZES, ExperimentConfig
+from repro.events.generators import EventWorkload, QueryWorkload
+from repro.exceptions import ConfigurationError
+
+__all__ = ["EXPERIMENTS", "get_experiment"]
+
+
+def _exact(range_sizes: str) -> QueryWorkload:
+    return QueryWorkload(
+        dimensions=3,
+        kind="exact",
+        range_sizes=range_sizes,  # type: ignore[arg-type]
+        label=f"exact/{range_sizes}",
+    )
+
+
+def _m_partial(m: int) -> QueryWorkload:
+    return QueryWorkload(
+        dimensions=3, kind="partial", unspecified=m, label=f"{m}-partial"
+    )
+
+
+def _one_at(n: int) -> QueryWorkload:
+    """1@n-partial: dimension ``n`` (1-based, as in the paper) unspecified."""
+    return QueryWorkload(
+        dimensions=3,
+        kind="partial",
+        unspecified=(n - 1,),
+        label=f"1@{n}-partial",
+    )
+
+
+FIG6A = ExperimentConfig(
+    name="fig6a",
+    title="Figure 6(a): exact-match query cost vs network size (uniform range sizes)",
+    paper_claim=(
+        "DIM's cost grows with network size while Pool stays nearly flat "
+        "and cheaper at every size"
+    ),
+    network_sizes=PAPER_NETWORK_SIZES,
+    query_workloads=(_exact("uniform"),),
+)
+
+FIG6B = ExperimentConfig(
+    name="fig6b",
+    title="Figure 6(b): exact-match query cost vs network size (exponential range sizes)",
+    paper_claim=(
+        "Both systems cost far less than with uniform range sizes; the "
+        "ordering (Pool < DIM, DIM growing) is unchanged"
+    ),
+    network_sizes=PAPER_NETWORK_SIZES,
+    query_workloads=(_exact("exponential"),),
+)
+
+FIG7A = ExperimentConfig(
+    name="fig7a",
+    title="Figure 7(a): partial-match query cost by number of unspecified dimensions",
+    paper_claim=(
+        "At 900 nodes DIM costs ~2.8x Pool on 1-partial and ~3.5x on "
+        "2-partial queries; vaguer queries widen the gap"
+    ),
+    network_sizes=(900,),
+    query_workloads=(_m_partial(1), _m_partial(2)),
+)
+
+FIG7B = ExperimentConfig(
+    name="fig7b",
+    title="Figure 7(b): 1@n-partial query cost by unspecified dimension",
+    paper_claim=(
+        "DIM is worst when dimension 1 is unspecified and improves toward "
+        "1@3; Pool is flat across all three and 50-100% cheaper"
+    ),
+    network_sizes=(900,),
+    query_workloads=(_one_at(1), _one_at(2), _one_at(3)),
+)
+
+# ----------------------------------------------------------------------- #
+# Ablations (DESIGN.md §3, beyond the paper's figures)                    #
+# ----------------------------------------------------------------------- #
+
+ABL_INSERT = ExperimentConfig(
+    name="abl-insert",
+    title="Ablation: insertion cost vs network size (paper §5.2: 'conceptually the same')",
+    paper_claim=(
+        "Pool and DIM insertion costs are within a small constant of each "
+        "other at every size (both are one GPSR unicast per event)"
+    ),
+    network_sizes=(300, 900, 1800, 3000),
+    query_workloads=(_exact("exponential"),),
+    query_count=10,
+)
+
+ABL_SPLITTER = ExperimentConfig(
+    name="abl-splitter",
+    title="Ablation: Pool forwarding via splitter vs direct tree from sink",
+    paper_claim=(
+        "Routing through the splitter costs no more than a few messages "
+        "over the direct tree while enabling in-splitter aggregation"
+    ),
+    network_sizes=(900,),
+    query_workloads=(_exact("uniform"), _m_partial(1)),
+    systems=("pool", "pool-direct"),
+)
+
+ABL_SKEW = ExperimentConfig(
+    name="abl-skew",
+    title="Ablation: hotspot behaviour under skewed (gaussian) events",
+    paper_claim=(
+        "Skewed data concentrates DIM's storage on few owners; Pool with "
+        "workload sharing bounds the maximum per-node load"
+    ),
+    network_sizes=(900,),
+    event_workload=EventWorkload(dimensions=3, distribution="gaussian"),
+    query_workloads=(_exact("exponential"),),
+    query_count=20,
+    sharing_capacity=32,
+)
+
+ABL_L = ExperimentConfig(
+    name="abl-l",
+    title="Ablation: Pool side length l vs query cost",
+    paper_claim=(
+        "Larger l spreads load over more index nodes but raises the "
+        "number of relevant cells per query; l=10 is a reasonable middle"
+    ),
+    network_sizes=(900,),
+    query_workloads=(_exact("uniform"),),
+    systems=("pool-l5", "pool-l10", "pool-l15", "pool-l20"),
+)
+
+ABL_BASELINES = ExperimentConfig(
+    name="abl-baselines",
+    title="Ablation: Pool vs DIM vs the classical non-DCS baselines",
+    paper_claim=(
+        "Flooding pays O(n) per query regardless of selectivity and "
+        "external storage pays a cross-network unicast per event; DCS "
+        "(Pool, DIM) sits between, and Pool is the cheapest DCS"
+    ),
+    network_sizes=(300, 900),
+    query_workloads=(_exact("exponential"),),
+    query_count=30,
+    systems=("pool", "dim", "flooding", "external"),
+)
+
+ABL_LINEAGE = ExperimentConfig(
+    name="abl-lineage",
+    title="Ablation: the DCS lineage (DIFS -> DIM -> Pool) on partial matches",
+    paper_claim=(
+        "Single-attribute indexes (DIFS) collapse when the query "
+        "constrains a different attribute than the indexed one; DIM "
+        "handles all dimensions but pays its k-d sensitivity; Pool prunes "
+        "uniformly"
+    ),
+    network_sizes=(600,),
+    query_workloads=(_one_at(1), _one_at(3)),
+    query_count=30,
+    systems=("pool", "dim", "difs"),
+)
+
+EXPERIMENTS: dict[str, ExperimentConfig] = {
+    config.name: config
+    for config in (
+        FIG6A,
+        FIG6B,
+        FIG7A,
+        FIG7B,
+        ABL_INSERT,
+        ABL_SPLITTER,
+        ABL_SKEW,
+        ABL_L,
+        ABL_BASELINES,
+        ABL_LINEAGE,
+    )
+}
+
+
+def get_experiment(name: str) -> ExperimentConfig:
+    """Look up an experiment by registry name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {known}"
+        ) from None

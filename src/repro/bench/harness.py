@@ -1,0 +1,282 @@
+"""The experiment runner.
+
+For every ``(network size, trial)`` pair the runner deploys one topology
+and feeds the *same* events and queries to every system under test (each
+on its own :class:`~repro.network.network.Network` facade so accounting
+never bleeds between systems).  Per query it records the paper's metric —
+query-forward plus query-reply messages — and aggregates means over
+queries and trials.
+
+The runner is deterministic from a single seed: topology, events and
+queries derive independent RNG streams via :func:`repro.rng.derive`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines.external import ExternalStorage
+from repro.baselines.flooding import LocalStorageFlooding
+from repro.bench.workloads import ExperimentConfig
+from repro.core.sharing import SharingPolicy
+from repro.core.system import PoolSystem
+from repro.dcs import DataCentricStore
+from repro.difs.index import DifsIndex
+from repro.dim.index import DimIndex
+from repro.exceptions import ConfigurationError
+from repro.network.network import Network
+from repro.network.topology import Topology, deploy_uniform
+from repro.rng import derive
+
+__all__ = ["ResultRow", "ExperimentResult", "run_experiment", "build_system"]
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(slots=True)
+class ResultRow:
+    """Aggregated measurements for one (size, workload, system) cell."""
+
+    size: int
+    workload: str
+    system: str
+    trials: int
+    queries: int
+    mean_cost: float
+    std_cost: float
+    mean_forward: float
+    mean_reply: float
+    mean_matches: float
+    mean_insert_hops: float
+    mean_visited_nodes: float
+    mean_depth_hops: float = 0.0
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "size": self.size,
+            "workload": self.workload,
+            "system": self.system,
+            "trials": self.trials,
+            "queries": self.queries,
+            "mean_cost": round(self.mean_cost, 2),
+            "std_cost": round(self.std_cost, 2),
+            "mean_forward": round(self.mean_forward, 2),
+            "mean_reply": round(self.mean_reply, 2),
+            "mean_matches": round(self.mean_matches, 2),
+            "mean_insert_hops": round(self.mean_insert_hops, 2),
+            "mean_visited_nodes": round(self.mean_visited_nodes, 2),
+            "mean_depth_hops": round(self.mean_depth_hops, 2),
+        }
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """All rows of one experiment, with series accessors for assertions."""
+
+    name: str
+    title: str
+    paper_claim: str
+    rows: list[ResultRow] = field(default_factory=list)
+
+    def series(self, system: str, workload: str | None = None) -> list[tuple[int, float]]:
+        """``(size, mean_cost)`` points for one system (and workload)."""
+        return [
+            (row.size, row.mean_cost)
+            for row in self.rows
+            if row.system == system
+            and (workload is None or row.workload == workload)
+        ]
+
+    def by_workload(self, system: str, size: int) -> list[tuple[str, float]]:
+        """``(workload, mean_cost)`` categories at a fixed size."""
+        return [
+            (row.workload, row.mean_cost)
+            for row in self.rows
+            if row.system == system and row.size == size
+        ]
+
+    def cell(self, system: str, size: int, workload: str) -> ResultRow:
+        for row in self.rows:
+            if (
+                row.system == system
+                and row.size == size
+                and row.workload == workload
+            ):
+                return row
+        raise KeyError(f"no row for ({system}, {size}, {workload!r})")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+
+def build_system(
+    name: str, network: Network, config: ExperimentConfig, seed: int
+) -> DataCentricStore:
+    """Instantiate a system under test by registry name.
+
+    Names: ``"pool"`` (paper configuration), ``"pool-direct"`` (forwarding
+    tree rooted at the sink instead of the splitter — ablation),
+    ``"pool-l<N>"`` (side length override, e.g. ``pool-l20``), ``"dim"``
+    (the paper's baseline), ``"difs"`` (single-attribute predecessor),
+    ``"flooding"`` and ``"external"`` (the classical non-DCS extremes).
+    """
+    if name == "dim":
+        return DimIndex(network, config.dimensions)
+    if name == "difs":
+        return DifsIndex(network, config.dimensions)
+    if name == "flooding":
+        return LocalStorageFlooding(network, config.dimensions)
+    if name == "external":
+        return ExternalStorage(network, config.dimensions)
+    if name == "pool" or name.startswith("pool-"):
+        side_length = config.side_length
+        route_via_splitter = config.route_via_splitter
+        if name == "pool-direct":
+            route_via_splitter = False
+        elif name.startswith("pool-l"):
+            try:
+                side_length = int(name[len("pool-l") :])
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad side-length system name {name!r}"
+                ) from None
+        elif name != "pool":
+            raise ConfigurationError(f"unknown system under test {name!r}")
+        sharing = (
+            SharingPolicy(enabled=True, capacity=config.sharing_capacity)
+            if config.sharing_capacity is not None
+            else SharingPolicy()
+        )
+        return PoolSystem(
+            network,
+            config.dimensions,
+            cell_size=config.cell_size,
+            side_length=side_length,
+            seed=derive(seed, "pivots"),
+            sharing=sharing,
+            route_via_splitter=route_via_splitter,
+        )
+    raise ConfigurationError(f"unknown system under test {name!r}")
+
+
+def _sink_node(topology: Topology) -> int:
+    """The query sink: the node nearest the field center (base station)."""
+    return topology.closest_node(topology.field.center)
+
+
+@dataclass(slots=True)
+class _CellSamples:
+    """Per-query samples accumulated across trials for one result cell."""
+
+    costs: list[float] = field(default_factory=list)
+    forwards: list[float] = field(default_factory=list)
+    replies: list[float] = field(default_factory=list)
+    matches: list[float] = field(default_factory=list)
+    visited: list[float] = field(default_factory=list)
+    insert_hops: list[float] = field(default_factory=list)
+    depths: list[float] = field(default_factory=list)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    seed: int = 0,
+    progress: ProgressFn | None = None,
+) -> ExperimentResult:
+    """Run ``config`` and return aggregated rows.
+
+    Deterministic for a fixed ``seed``.  ``progress`` (if given) receives
+    one human-readable line per (size, trial, system) step.
+    """
+    samples: dict[tuple[int, str, str], _CellSamples] = {}
+    for size in config.network_sizes:
+        for trial in range(config.trials):
+            topology = deploy_uniform(
+                size,
+                radio_range=config.radio_range,
+                target_degree=config.target_degree,
+                seed=derive(seed, "topology", size, trial),
+            )
+            sink = _sink_node(topology)
+            events = config.event_workload.generate(
+                config.events_per_node * size,
+                seed=derive(seed, "events", size, trial),
+                sources=list(topology),
+            )
+            query_sets = [
+                (
+                    workload.describe(),
+                    workload.generate(
+                        config.query_count,
+                        seed=derive(seed, "queries", size, trial, wi),
+                    ),
+                )
+                for wi, workload in enumerate(config.query_workloads)
+            ]
+            for system_name in config.systems:
+                if progress is not None:
+                    progress(
+                        f"[{config.name}] n={size} trial={trial + 1}/"
+                        f"{config.trials} system={system_name}"
+                    )
+                network = Network(topology)
+                system = build_system(system_name, network, config, seed)
+                insert_hops = [
+                    system.insert(event).hops for event in events
+                ]
+                mean_insert = (
+                    sum(insert_hops) / len(insert_hops) if insert_hops else 0.0
+                )
+                for workload_label, queries in query_sets:
+                    cell = samples.setdefault(
+                        (size, workload_label, system_name), _CellSamples()
+                    )
+                    cell.insert_hops.append(mean_insert)
+                    for query in queries:
+                        result = system.query(sink, query)
+                        cell.costs.append(result.total_cost)
+                        cell.forwards.append(result.forward_cost)
+                        cell.replies.append(result.reply_cost)
+                        cell.matches.append(result.match_count)
+                        cell.visited.append(len(result.visited_nodes))
+                        cell.depths.append(result.depth_hops)
+    rows = []
+    for size in config.network_sizes:
+        for workload in config.query_workloads:
+            label = workload.describe()
+            for system_name in config.systems:
+                cell = samples[(size, label, system_name)]
+                rows.append(
+                    ResultRow(
+                        size=size,
+                        workload=label,
+                        system=system_name,
+                        trials=config.trials,
+                        queries=len(cell.costs),
+                        mean_cost=statistics.fmean(cell.costs),
+                        std_cost=(
+                            statistics.pstdev(cell.costs)
+                            if len(cell.costs) > 1
+                            else 0.0
+                        ),
+                        mean_forward=statistics.fmean(cell.forwards),
+                        mean_reply=statistics.fmean(cell.replies),
+                        mean_matches=statistics.fmean(cell.matches),
+                        mean_insert_hops=statistics.fmean(cell.insert_hops),
+                        mean_visited_nodes=statistics.fmean(cell.visited),
+                        mean_depth_hops=statistics.fmean(cell.depths),
+                    )
+                )
+    return ExperimentResult(
+        name=config.name,
+        title=config.title,
+        paper_claim=config.paper_claim,
+        rows=rows,
+    )

@@ -1,0 +1,129 @@
+"""Plain-text tables and JSON export for experiment results.
+
+``pool-bench`` prints the same rows/series a figure in the paper plots;
+EXPERIMENTS.md embeds these tables verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.harness import ExperimentResult
+
+__all__ = ["Table", "result_table", "ratio_table", "render_result"]
+
+
+@dataclass(slots=True)
+class Table:
+    """A minimal ASCII table: title, headers, stringly-typed rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        """Append a row, stringifying every cell."""
+        self.rows.append([_fmt(cell) for cell in cells])
+
+    def render(self) -> str:
+        """Render with padded columns and a separator under the header."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def result_table(result: ExperimentResult) -> Table:
+    """The main per-figure table: one row per (size, workload, system)."""
+    table = Table(
+        title=result.title,
+        headers=[
+            "size",
+            "workload",
+            "system",
+            "msgs/query",
+            "±std",
+            "forward",
+            "reply",
+            "matches",
+            "insert hops",
+            "depth",
+        ],
+    )
+    for row in result.rows:
+        table.add(
+            row.size,
+            row.workload,
+            row.system,
+            row.mean_cost,
+            row.std_cost,
+            row.mean_forward,
+            row.mean_reply,
+            row.mean_matches,
+            row.mean_insert_hops,
+            row.mean_depth_hops,
+        )
+    return table
+
+
+def ratio_table(
+    result: ExperimentResult, *, baseline: str = "dim", subject: str = "pool"
+) -> Table | None:
+    """Baseline/subject cost ratios per (size, workload) — the "who wins
+    by what factor" view used to compare against the paper's claims.
+
+    Returns ``None`` when either system is absent from the result.
+    """
+    systems = {row.system for row in result.rows}
+    if baseline not in systems or subject not in systems:
+        return None
+    table = Table(
+        title=f"{result.name}: {baseline} / {subject} cost ratio",
+        headers=["size", "workload", f"{subject} msgs", f"{baseline} msgs", "ratio"],
+    )
+    cells = {(r.size, r.workload, r.system): r for r in result.rows}
+    for row in result.rows:
+        if row.system != subject:
+            continue
+        base = cells.get((row.size, row.workload, baseline))
+        if base is None:
+            continue
+        ratio = base.mean_cost / row.mean_cost if row.mean_cost else float("inf")
+        table.add(row.size, row.workload, row.mean_cost, base.mean_cost, f"{ratio:.2f}x")
+    return table
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Full text report: claim, measurement table, ratio table."""
+    parts = [result_table(result).render()]
+    if result.paper_claim:
+        parts.insert(0, f"paper claim: {result.paper_claim}")
+    ratios = ratio_table(result)
+    if ratios is not None:
+        parts.append(ratios.render())
+    return "\n\n".join(parts)
+
+
+def to_json(results: Sequence[ExperimentResult]) -> str:
+    """JSON export of one or more results (for EXPERIMENTS.md tooling)."""
+    return json.dumps([r.as_dict() for r in results], indent=2)

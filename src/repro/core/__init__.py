@@ -1,0 +1,65 @@
+"""The Pool scheme — the paper's primary contribution.
+
+* :mod:`repro.core.grid` — the α-sized grid-cell view of the field.
+* :mod:`repro.core.ranges` — Equation 1: each cell's horizontal/vertical
+  value ranges, and the inverse (value → cell offset) used by Theorem 3.1.
+* :mod:`repro.core.pool` — Pool layouts (pivot cell + side length) and
+  pivot placement.
+* :mod:`repro.core.insertion` — Algorithm 1 / Theorem 3.1 event placement,
+  including the multiple-greatest-values rule of Section 4.1.
+* :mod:`repro.core.resolve` — Theorem 3.2 / Algorithm 2 query resolving.
+* :mod:`repro.core.sharing` — the workload-sharing mechanism (Section 4.2).
+* :mod:`repro.core.system` — :class:`PoolSystem`, the runnable store.
+"""
+
+from repro.core.grid import Cell, Grid
+from repro.core.pool import PoolLayout, choose_pivots
+from repro.core.insertion import Placement, candidate_placements, placement_for
+from repro.core.ranges import (
+    cell_value_ranges,
+    horizontal_range,
+    ho_for_value,
+    vertical_range,
+    vo_for_value,
+)
+from repro.core.resolve import (
+    PoolQueryRanges,
+    query_ranges_for_pool,
+    relevant_cells,
+    relevant_offsets,
+)
+from repro.core.replication import FailureReport, ReplicationPolicy
+from repro.core.sharing import SharingPolicy
+from repro.core.system import PoolSystem
+from repro.core.continuous import ContinuousQueryService, Subscription
+from repro.core.knn import KnnResult, nearest_neighbors
+from repro.core.protocol import DistributedQueryRun, run_query_on_simulator
+
+__all__ = [
+    "Cell",
+    "Grid",
+    "PoolLayout",
+    "choose_pivots",
+    "Placement",
+    "placement_for",
+    "candidate_placements",
+    "horizontal_range",
+    "vertical_range",
+    "ho_for_value",
+    "vo_for_value",
+    "cell_value_ranges",
+    "PoolQueryRanges",
+    "query_ranges_for_pool",
+    "relevant_offsets",
+    "relevant_cells",
+    "SharingPolicy",
+    "ReplicationPolicy",
+    "FailureReport",
+    "PoolSystem",
+    "ContinuousQueryService",
+    "Subscription",
+    "nearest_neighbors",
+    "KnnResult",
+    "run_query_on_simulator",
+    "DistributedQueryRun",
+]

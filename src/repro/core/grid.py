@@ -1,0 +1,106 @@
+"""The grid-cell view of the deployment field (Section 2).
+
+Pool visualizes the field as equal α×α meter cells addressed by logical
+coordinates ``C_(x,y)`` with ``C_(0,0)`` (the *origin*) at the lower-left.
+A sensor derives its native cell from its own position, the cell size α
+and the origin coordinates — no communication needed (Section 2):
+
+    x = floor((a - x_orig) / α),  y = floor((b - y_orig) / α)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, NamedTuple
+
+from repro.exceptions import ConfigurationError
+from repro.geometry import Point, Rect
+
+__all__ = ["Cell", "Grid"]
+
+
+class Cell(NamedTuple):
+    """Logical grid coordinates ``C_(x,y)``: column ``x``, row ``y``."""
+
+    x: int
+    y: int
+
+    def offset(self, dx: int, dy: int) -> "Cell":
+        """The cell ``dx`` columns right and ``dy`` rows up from this one."""
+        return Cell(self.x + dx, self.y + dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"C({self.x},{self.y})"
+
+
+class Grid:
+    """An α-sized cell grid over a rectangular field.
+
+    Parameters
+    ----------
+    field:
+        Deployment rectangle; its lower-left corner is the grid origin
+        ``(x_orig, y_orig)``.
+    cell_size:
+        The paper's α, in meters.
+    """
+
+    def __init__(self, field: Rect, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
+        if field.width <= 0 or field.height <= 0:
+            raise ConfigurationError(
+                f"field must have positive extent, got {field.width}x{field.height}"
+            )
+        self.field = field
+        self.cell_size = float(cell_size)
+        self.origin = Point(field.x_min, field.y_min)
+        self.columns = max(1, math.ceil(field.width / cell_size))
+        self.rows = max(1, math.ceil(field.height / cell_size))
+
+    # ------------------------------------------------------------------ #
+    # Coordinate transforms                                              #
+    # ------------------------------------------------------------------ #
+
+    def cell_of(self, point: tuple[float, float]) -> Cell:
+        """Native cell of a physical location (clamped to the grid)."""
+        x = int((point[0] - self.origin.x) // self.cell_size)
+        y = int((point[1] - self.origin.y) // self.cell_size)
+        return Cell(
+            min(max(x, 0), self.columns - 1),
+            min(max(y, 0), self.rows - 1),
+        )
+
+    def center(self, cell: Cell) -> Point:
+        """Physical center of a cell — where its index node should sit."""
+        return Point(
+            self.origin.x + (cell.x + 0.5) * self.cell_size,
+            self.origin.y + (cell.y + 0.5) * self.cell_size,
+        )
+
+    def rect(self, cell: Cell) -> Rect:
+        """Physical extent of a cell."""
+        x0 = self.origin.x + cell.x * self.cell_size
+        y0 = self.origin.y + cell.y * self.cell_size
+        return Rect(x0, y0, x0 + self.cell_size, y0 + self.cell_size)
+
+    def contains(self, cell: Cell) -> bool:
+        """Whether logical coordinates fall inside the grid."""
+        return 0 <= cell.x < self.columns and 0 <= cell.y < self.rows
+
+    def cells(self) -> Iterator[Cell]:
+        """Row-major iteration over every cell."""
+        for y in range(self.rows):
+            for x in range(self.columns):
+                yield Cell(x, y)
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of cells."""
+        return self.columns * self.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Grid({self.columns}x{self.rows} cells of "
+            f"{self.cell_size}m, origin={tuple(self.origin)})"
+        )

@@ -1,0 +1,228 @@
+"""Distributed execution of Pool queries on the discrete-event simulator.
+
+The benchmark harness accounts for queries synchronously (GPSR paths and
+forwarding trees are deterministic).  This module is the proof that the
+accounting corresponds to a real protocol: it runs the *same* query as
+asynchronous message passing —
+
+1. the sink unicasts the query to each Pool's splitter, hop by hop;
+2. the splitter disseminates it down the forwarding tree, one radio
+   transmission per tree edge, children in parallel;
+3. each holder answers from local storage; a node sends its (aggregated)
+   reply upstream only once all of its subtree's replies arrived —
+   in-network aggregation exactly as Section 3.2.3 describes;
+4. the splitter relays the Pool's combined answer back to the sink.
+
+``tests/core/test_protocol.py`` asserts that the events returned and the
+per-category message counts equal :meth:`PoolSystem.query`'s synchronous
+result, message for message.
+
+The query packet carries its forwarding tree (source routing), which is
+how small dissemination trees are shipped in practice; holders do not
+need global knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resolve import query_ranges_for_pool, relevant_offsets
+from repro.core.system import PoolSystem
+from repro.events.event import Event
+from repro.events.queries import RangeQuery
+from repro.exceptions import DimensionMismatchError, QueryError
+from repro.network.messages import MessageCategory
+from repro.network.simulator import Simulator
+from repro.routing.multicast import MulticastTree, TreeBuilder
+
+__all__ = ["DistributedQueryRun", "run_query_on_simulator"]
+
+
+@dataclass(slots=True)
+class DistributedQueryRun:
+    """Outcome of one event-driven query execution."""
+
+    events: list[Event]
+    forward_cost: int
+    reply_cost: int
+    completed_at: float
+    pools_visited: int
+
+    @property
+    def total_cost(self) -> int:
+        return self.forward_cost + self.reply_cost
+
+
+@dataclass(slots=True)
+class _PoolRun:
+    """Mutable per-Pool execution state (reply aggregation bookkeeping)."""
+
+    tree: MulticastTree
+    children: dict[int, list[int]]
+    pending: dict[int, int] = field(default_factory=dict)
+    partials: dict[int, list[Event]] = field(default_factory=dict)
+    done: bool = False
+
+
+class _Execution:
+    """Drives one query across all Pools and collects the grand reply."""
+
+    def __init__(
+        self, system: PoolSystem, simulator: Simulator, sink: int, query: RangeQuery
+    ) -> None:
+        self.system = system
+        self.simulator = simulator
+        self.sink = sink
+        self.query = query
+        self.events: list[Event] = []
+        self.outstanding_pools = 0
+        self.pools_visited = 0
+        self.completed_at = 0.0
+
+    # ---------------------------- dissemination ----------------------- #
+
+    def start(self) -> None:
+        for pool in self.system.pools:
+            offsets = relevant_offsets(
+                self.query, pool.index, self.system.side_length
+            )
+            if not offsets:
+                continue
+            self.outstanding_pools += 1
+            self.pools_visited += 1
+            derived = query_ranges_for_pool(self.query, pool.index)
+            destinations: dict[int, None] = {}
+            holders_events: dict[int, list[Event]] = {}
+            for ho, vo in offsets:
+                cell = pool.cell_at(ho, vo)
+                store = self.system._stores.get((pool.index, ho, vo))
+                if store is None:
+                    destinations.setdefault(self.system.index_node(cell))
+                    continue
+                for segment in store.segments_overlapping(derived.vertical):
+                    destinations.setdefault(segment.node)
+                    bucket = holders_events.setdefault(segment.node, [])
+                    for event in segment.events:
+                        if self.query.matches(event):
+                            bucket.append(event)
+            splitter = self.system.splitter(self.sink, pool.index)
+            self._launch_pool(splitter, list(destinations), holders_events)
+
+    def _launch_pool(
+        self,
+        splitter: int,
+        destinations: list[int],
+        holders_events: dict[int, list[Event]],
+    ) -> None:
+        sim = self.simulator
+        builder = TreeBuilder(sim.router, splitter)
+        builder.add_destinations(destinations)
+        tree = builder.build()
+        run = _PoolRun(tree=tree, children=tree.children())
+        # pending = own children count; a node replies upstream once all
+        # of its children replied (leaves reply immediately).
+        for node in tree.nodes():
+            run.pending[node] = len(run.children.get(node, ()))
+            run.partials[node] = list(holders_events.get(node, ()))
+        sink_path = sim.router.path(self.sink, splitter)
+
+        def deliver_to_splitter(index: int) -> None:
+            if index < len(sink_path) - 1:
+                sim.stats.record(
+                    MessageCategory.QUERY_FORWARD,
+                    sender=sink_path[index],
+                    receiver=sink_path[index + 1],
+                )
+                sim.schedule(
+                    sim.hop_latency, lambda: deliver_to_splitter(index + 1)
+                )
+            else:
+                disseminate(splitter)
+
+        def disseminate(node: int) -> None:
+            kids = run.children.get(node, ())
+            if not kids and run.pending[node] == 0:
+                reply_up(node)
+                return
+            for child in kids:
+                sim.stats.record(
+                    MessageCategory.QUERY_FORWARD, sender=node, receiver=child
+                )
+                sim.schedule(sim.hop_latency, lambda c=child: disseminate(c))
+
+        parents = {child: parent for parent, child in tree.edges}
+
+        def reply_up(node: int) -> None:
+            parent = parents.get(node)
+            if parent is None:
+                pool_done(run.partials[node])
+                return
+            sim.stats.record(
+                MessageCategory.QUERY_REPLY, sender=node, receiver=parent
+            )
+
+            def arrive() -> None:
+                run.partials[parent].extend(run.partials[node])
+                run.pending[parent] -= 1
+                if run.pending[parent] == 0:
+                    reply_up(parent)
+
+            sim.schedule(sim.hop_latency, arrive)
+
+        def pool_done(pool_events: list[Event]) -> None:
+            # Splitter -> sink relay of the aggregated pool answer.
+            def relay(index: int) -> None:
+                if index > 0:
+                    sim.stats.record(
+                        MessageCategory.QUERY_REPLY,
+                        sender=sink_path[index],
+                        receiver=sink_path[index - 1],
+                    )
+                    sim.schedule(sim.hop_latency, lambda: relay(index - 1))
+                else:
+                    self.events.extend(pool_events)
+                    self.outstanding_pools -= 1
+                    if self.outstanding_pools == 0:
+                        self.completed_at = sim.now
+            relay(len(sink_path) - 1)
+
+        if len(sink_path) < 2:
+            disseminate(splitter)
+        else:
+            deliver_to_splitter(0)
+
+
+def run_query_on_simulator(
+    system: PoolSystem,
+    simulator: Simulator,
+    sink: int,
+    query: RangeQuery,
+) -> DistributedQueryRun:
+    """Execute ``query`` as asynchronous message passing; returns the run.
+
+    The simulator must share the topology the system was built on.  The
+    run's costs come out of ``simulator.stats`` (reset here so the counts
+    are exactly this query's).
+    """
+    if query.dimensions != system.dimensions:
+        raise DimensionMismatchError(system.dimensions, query.dimensions, "query")
+    if simulator.topology is not system.network.topology:
+        raise QueryError(
+            "simulator and PoolSystem must share the same topology object"
+        )
+    simulator.stats.reset()
+    execution = _Execution(system, simulator, sink, query)
+    execution.start()
+    simulator.run()
+    if execution.outstanding_pools:
+        raise QueryError(
+            f"{execution.outstanding_pools} pool(s) never replied; "
+            "the event queue drained early"
+        )
+    return DistributedQueryRun(
+        events=execution.events,
+        forward_cost=simulator.stats.count(MessageCategory.QUERY_FORWARD),
+        reply_cost=simulator.stats.count(MessageCategory.QUERY_REPLY),
+        completed_at=execution.completed_at,
+        pools_visited=execution.pools_visited,
+    )

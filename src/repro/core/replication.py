@@ -1,0 +1,83 @@
+"""Replication policy and failure-recovery records for Pool.
+
+The paper assumes reliable index nodes; a deployable system cannot.  This
+module adds the standard DCS hardening (GHT's "home node + perimeter
+replicas" idea, adapted to Pool's cell structure):
+
+* **Synchronous replication** — every event stored in a cell is also
+  copied to the cell's ``r`` *replica nodes* (the alive nodes nearest the
+  cell center after the holders).  Each copy is a GPSR unicast charged
+  under ``REPLICATE``, so the durability/energy trade-off is measurable.
+* **Failure handling** — when nodes die,
+  :meth:`repro.core.system.PoolSystem.handle_failures` re-elects index
+  nodes (the next-closest alive node — the same rule that elected the
+  original), reassigns orphaned segments, restores their events from an
+  alive replica when one exists, and reports exactly what was recovered
+  and what was lost.
+
+With ``replicas=0`` (the default and the paper's model) failures lose the
+dead nodes' events but the system keeps answering from the survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ReplicationPolicy", "FailureReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationPolicy:
+    """Durability tunables.
+
+    Attributes
+    ----------
+    replicas:
+        Copies kept per cell besides the holders (0 disables replication).
+    batch_size:
+        Events per recovery-transfer message (recovery moves data in
+        batches, one radio message per hop per batch).
+    """
+
+    replicas: int = 0
+    batch_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.replicas < 0:
+            raise ConfigurationError(f"replicas must be >= 0, got {self.replicas}")
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.replicas > 0
+
+    def transfer_messages(self, moved: int, hops: int) -> int:
+        """Radio messages to move ``moved`` events over ``hops`` hops."""
+        if moved <= 0 or hops <= 0:
+            return 0
+        batches = -(-moved // self.batch_size)
+        return batches * hops
+
+
+@dataclass(slots=True)
+class FailureReport:
+    """What :meth:`PoolSystem.handle_failures` did, for assertions/ops."""
+
+    failed_nodes: frozenset[int]
+    segments_reassigned: int = 0
+    events_recovered: int = 0
+    events_lost: int = 0
+    replicas_reseeded: int = 0
+    recovery_messages: int = 0
+    #: (pool, ho, vo) triples whose data could not be restored.
+    lossy_cells: list[tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def fully_recovered(self) -> bool:
+        """Whether no stored event was lost."""
+        return self.events_lost == 0

@@ -1,0 +1,131 @@
+"""Query resolving: Theorem 3.2 and Algorithm 2.
+
+Given a (rewritten) k-dimensional range query ``Q = <[L_1,U_1], ...,
+[L_k,U_k]>``, Theorem 3.2 derives — per Pool ``P_i`` — the value ranges a
+qualifying event stored there must exhibit on the Pool's two axes:
+
+    R_H^i(Q) = [ max(L_1..L_k),  U_i ]
+    R_V^i(Q) = [ max({L_j} \\ {L_i}),  min(U_i, max({U_j} \\ {U_i})) ]
+
+Why: an event lives in ``P_i`` only if ``V_i`` is its greatest value, so
+``V_i`` dominates every other value and hence every other lower bound;
+and its second-greatest value is some other dimension's value, bounded by
+that dimension's upper bound and by ``U_i`` from above.
+
+A cell of ``P_i`` is *relevant* iff its Equation 1 ranges intersect both
+derived ranges (Algorithm 2).  The derivation is pure arithmetic on the
+query — one step at the sink, no index traversal — which is the paper's
+headline pruning mechanism, and it applies unchanged to partial-match
+queries after the ``[0, 1]`` rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.grid import Cell
+from repro.core.pool import PoolLayout
+from repro.core.ranges import (
+    horizontal_range,
+    ranges_intersect,
+    vertical_range,
+)
+from repro.events.queries import RangeQuery
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "PoolQueryRanges",
+    "query_ranges_for_pool",
+    "relevant_offsets",
+    "relevant_cells",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PoolQueryRanges:
+    """The derived ``(R_H^i, R_V^i)`` pair for one Pool."""
+
+    pool: int
+    horizontal: tuple[float, float]
+    vertical: tuple[float, float]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether either derived range is empty (Pool fully pruned)."""
+        return (
+            self.horizontal[0] > self.horizontal[1]
+            or self.vertical[0] > self.vertical[1]
+        )
+
+
+def query_ranges_for_pool(query: RangeQuery, pool: int) -> PoolQueryRanges:
+    """Apply Theorem 3.2 for Pool ``P_{pool+1}``.
+
+    Returns the derived ranges; check :attr:`PoolQueryRanges.is_empty` for
+    the Algorithm 2 line-1 prune (``max(L) > U_i``).
+    """
+    if not 0 <= pool < query.dimensions:
+        raise ValidationError(
+            f"pool index {pool} outside 0..{query.dimensions - 1}"
+        )
+    lowers = query.lowers
+    uppers = query.uppers
+    r_h = (max(lowers), uppers[pool])
+    other_lowers = [lo for j, lo in enumerate(lowers) if j != pool]
+    other_uppers = [hi for j, hi in enumerate(uppers) if j != pool]
+    if other_lowers:
+        r_v = (max(other_lowers), min(uppers[pool], max(other_uppers)))
+    else:
+        # One-dimensional degenerate case: the vertical axis repeats the
+        # horizontal key, so reuse the same range.
+        r_v = r_h
+    return PoolQueryRanges(pool=pool, horizontal=r_h, vertical=r_v)
+
+
+def relevant_offsets(
+    query: RangeQuery, pool: int, side_length: int
+) -> list[tuple[int, int]]:
+    """Algorithm 2: the ``(HO, VO)`` offsets of relevant cells in a Pool.
+
+    A cell is relevant iff its Equation 1 horizontal range intersects
+    ``R_H^i(Q)`` *and* its vertical range intersects ``R_V^i(Q)``.  Cells
+    on the top boundary of an axis use closed-top intersection so events
+    with attribute value 1.0 cannot slip through (see
+    :mod:`repro.core.ranges`).
+
+    The scan is narrowed to the columns overlapping ``R_H`` before the
+    per-cell vertical check, so the common case touches far fewer than
+    ``l²`` cells.
+    """
+    derived = query_ranges_for_pool(query, pool)
+    if derived.is_empty:
+        return []
+    offsets: list[tuple[int, int]] = []
+    # Column window from the horizontal range (cheap pre-prune).
+    first_col = max(0, int(derived.horizontal[0] * side_length) - 1)
+    last_col = min(side_length - 1, int(derived.horizontal[1] * side_length) + 1)
+    for ho in range(first_col, last_col + 1):
+        h_range = horizontal_range(ho, side_length)
+        if not ranges_intersect(
+            h_range, derived.horizontal, closed_top=(ho == side_length - 1)
+        ):
+            continue
+        for vo in range(side_length):
+            v_range = vertical_range(ho, vo, side_length)
+            if ranges_intersect(
+                v_range, derived.vertical, closed_top=(vo == side_length - 1)
+            ):
+                offsets.append((ho, vo))
+    return offsets
+
+
+def relevant_cells(query: RangeQuery, layout: PoolLayout) -> list[Cell]:
+    """Global grid cells of ``layout`` relevant to ``query``.
+
+    Convenience wrapper combining :func:`relevant_offsets` with the Pool's
+    pivot anchoring; this is what the examples and figure tests use.
+    """
+    return [
+        layout.cell_at(ho, vo)
+        for ho, vo in relevant_offsets(query, layout.index, layout.side_length)
+    ]

@@ -1,0 +1,693 @@
+"""``PoolSystem`` — the runnable Pool data-centric store (Section 3).
+
+Ties every piece of the scheme to a deployed network:
+
+* pivot-cell placement and the k Pool layouts (Section 2),
+* index-node election per cell (nearest node to the cell center),
+* Algorithm 1 insertion over GPSR, with the Section 4.1 tie rule,
+* Theorem 3.2 / Algorithm 2 query resolving at the sink,
+* splitter-based query forwarding trees with reply aggregation
+  (Section 3.2.3),
+* the Section 4.2 workload-sharing mechanism.
+
+Implements the :class:`~repro.dcs.DataCentricStore` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.grid import Cell, Grid
+from repro.core.insertion import Placement, candidate_placements
+from repro.core.pool import PoolLayout, choose_pivots
+from repro.core.ranges import vertical_range
+from repro.core.resolve import query_ranges_for_pool, relevant_offsets
+from repro.aggregates import AggregateKind, AggregateState
+from repro.core.replication import FailureReport, ReplicationPolicy
+from repro.core.sharing import CellStore, SharingPolicy
+from repro.dcs import AggregateResult, InsertReceipt, QueryResult
+from repro.events.event import Event
+from repro.events.queries import RangeQuery
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.geometry import distance_sq
+from repro.ght.ght import GeographicHashTable
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+from repro.rng import SeedLike, derive
+
+__all__ = ["PoolSystem", "PoolPlan", "PoolQueryDetail"]
+
+
+@dataclass(slots=True)
+class PoolPlan:
+    """The per-Pool slice of a query's forwarding plan."""
+
+    pool: int
+    splitter: int
+    cells: tuple[Cell, ...]
+    index_nodes: tuple[int, ...]
+    sink_to_splitter_hops: int = 0
+    tree_edges: int = 0
+    #: Critical-path hops: sink -> splitter -> deepest relevant cell.
+    depth_hops: int = 0
+
+    @property
+    def forward_cost(self) -> int:
+        return self.sink_to_splitter_hops + self.tree_edges
+
+
+@dataclass(slots=True)
+class PoolQueryDetail:
+    """Pool-specific diagnostics attached to a query result."""
+
+    plans: list[PoolPlan] = field(default_factory=list)
+
+    @property
+    def pools_visited(self) -> int:
+        return len(self.plans)
+
+    @property
+    def cells_visited(self) -> int:
+        return sum(len(plan.cells) for plan in self.plans)
+
+
+class PoolSystem:
+    """The Pool scheme over a deployed :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        Communication substrate (topology + GPSR + accounting).
+    dimensions:
+        Event dimensionality ``k`` — also the number of Pools.
+    cell_size:
+        Grid cell side α in meters (paper default 5 m).
+    side_length:
+        Pool side ``l`` in cells (paper default 10).
+    pivots:
+        Explicit pivot cells (for reproducing the paper's worked examples);
+        drawn randomly when omitted.
+    seed:
+        Seed for pivot placement.
+    sharing:
+        Workload-sharing policy; disabled by default like the paper's
+        baseline experiments.
+    route_via_splitter:
+        Keep the paper's sink → splitter → cells forwarding (default).
+        ``False`` builds the tree straight from the sink — an ablation.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        dimensions: int,
+        *,
+        cell_size: float = 5.0,
+        side_length: int = 10,
+        pivots: list[Cell] | None = None,
+        seed: SeedLike = None,
+        sharing: SharingPolicy | None = None,
+        replication: ReplicationPolicy | None = None,
+        route_via_splitter: bool = True,
+    ) -> None:
+        if dimensions < 1:
+            raise ConfigurationError(f"dimensions must be >= 1, got {dimensions}")
+        self.network = network
+        self.dimensions = dimensions
+        self.side_length = side_length
+        self.sharing = sharing or SharingPolicy()
+        self.replication = replication or ReplicationPolicy()
+        self.route_via_splitter = route_via_splitter
+        self.grid = Grid(network.topology.field, cell_size)
+        if pivots is None:
+            pivots = choose_pivots(
+                self.grid,
+                dimensions,
+                side_length,
+                seed=derive(seed, "pool-pivots"),
+            )
+        if len(pivots) != dimensions:
+            raise ConfigurationError(
+                f"need {dimensions} pivot cells, got {len(pivots)}"
+            )
+        self.pools = [
+            PoolLayout(index=i, pivot=pivot, side_length=side_length)
+            for i, pivot in enumerate(pivots)
+        ]
+        for pool in self.pools:
+            top = pool.cell_at(side_length - 1, side_length - 1)
+            if not self.grid.contains(pool.pivot) or not self.grid.contains(top):
+                raise ConfigurationError(
+                    f"{pool!r} does not fit the {self.grid.columns}x"
+                    f"{self.grid.rows} grid"
+                )
+        self._index_node_cache: dict[Cell, int] = {}
+        self._splitter_cache: dict[tuple[int, int], int] = {}
+        self._stores: dict[tuple[int, int, int], CellStore] = {}
+        self._event_count = 0
+        # Per-node stored-event counts, kept current so workload sharing
+        # can pick lightly loaded delegates (real nodes learn neighbor
+        # load from beacon piggybacks).
+        self._node_load: dict[int, int] = {}
+        # Called after every successful insert with
+        # (placement, event, holder_node); used by the continuous-query
+        # service to push notifications (see repro.core.continuous).
+        self.insert_listeners: list = []
+        # Replica nodes per cell key (elected lazily, re-elected on
+        # failure); replicas hold a synchronous full copy of their cell.
+        self._replica_nodes: dict[tuple[int, int, int], tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Roles                                                              #
+    # ------------------------------------------------------------------ #
+
+    def index_node(self, cell: Cell) -> int:
+        """The physical node serving as the cell's index node.
+
+        The node closest to the cell center; under the paper's dense-
+        deployment assumption this node lies inside the cell, and under
+        sparse deployments it is the node GPSR would deliver to anyway
+        (DESIGN.md "Known deviations").
+        """
+        cached = self._index_node_cache.get(cell)
+        if cached is None:
+            cached = self.network.closest_node(self.grid.center(cell))
+            self._index_node_cache[cell] = cached
+        return cached
+
+    def splitter(self, sink: int, pool: int) -> int:
+        """The Pool's index node closest to the sink (Section 3.2.3)."""
+        key = (sink, pool)
+        cached = self._splitter_cache.get(key)
+        if cached is not None:
+            return cached
+        sink_pos = self.network.position(sink)
+        layout = self.pools[pool]
+        best_node = -1
+        best_d = float("inf")
+        for cell in layout.cells():
+            node = self.index_node(cell)
+            d = distance_sq(self.network.position(node), sink_pos)
+            if d < best_d:
+                best_d = d
+                best_node = node
+        self._splitter_cache[key] = best_node
+        return best_node
+
+    def publish_pivots(self, ght: GeographicHashTable, src: int) -> int:
+        """Register every Pool's pivot location in a GHT (Algorithm 1 l.4).
+
+        Benchmarks treat Pool layouts as predeployed configuration (the
+        paper: "the Pools of the system are predefined"), but the lookup
+        path exists and is exercised in tests/examples.  Returns the
+        messages spent publishing.
+        """
+        before = ght.network.stats.count(MessageCategory.DHT)
+        for pool in self.pools:
+            center = self.grid.center(pool.pivot)
+            ght.put(src, ("pool-pivot", pool.index), (pool.pivot, center))
+        return ght.network.stats.count(MessageCategory.DHT) - before
+
+    # ------------------------------------------------------------------ #
+    # Insertion (Algorithm 1)                                            #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, event: Event, source: int | None = None) -> InsertReceipt:
+        """Store ``event`` per Theorem 3.1 + the Section 4.1 tie rule."""
+        if event.dimensions != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, event.dimensions)
+        src = source if source is not None else event.source
+        placement = self._choose_placement(event, src)
+        cell = self.pools[placement.pool].cell_at(placement.ho, placement.vo)
+        primary = self.index_node(cell)
+        if src is None:
+            src = primary  # detected at the index node itself: zero hops
+        path = self.network.unicast(MessageCategory.INSERT, src, primary)
+        hops = len(path) - 1
+        store = self._store_for(placement)
+        v_key = min(event.second_greatest_value, store.v_range[1])
+        segment = store.segment_for(v_key)
+        if segment.node != primary:
+            # Delegated sub-range: the index node forwards one more leg.
+            extra = self.network.unicast(
+                MessageCategory.INSERT, primary, segment.node
+            )
+            hops += len(extra) - 1
+        segment.add(event, v_key)
+        self._node_load[segment.node] = self._node_load.get(segment.node, 0) + 1
+        self._event_count += 1
+        hops += self._replicate(placement, segment.node)
+        self._maybe_share(store, placement)
+        for listener in self.insert_listeners:
+            listener(placement, event, segment.node)
+        return InsertReceipt(home_node=segment.node, hops=hops, detail=placement)
+
+    def _choose_placement(self, event: Event, src: int | None) -> Placement:
+        """§4.1: among tied candidates, pick the cell closest to the source."""
+        candidates = candidate_placements(event, self.side_length)
+        if len(candidates) == 1 or src is None:
+            return candidates[0]
+        src_pos = self.network.position(src)
+        return min(
+            candidates,
+            key=lambda p: (
+                distance_sq(
+                    self.grid.center(self.pools[p.pool].cell_at(p.ho, p.vo)),
+                    src_pos,
+                ),
+                p.pool,
+            ),
+        )
+
+    def _store_for(self, placement: Placement) -> CellStore:
+        key = (placement.pool, placement.ho, placement.vo)
+        store = self._stores.get(key)
+        if store is None:
+            cell = self.pools[placement.pool].cell_at(placement.ho, placement.vo)
+            store = CellStore(
+                primary_node=self.index_node(cell),
+                v_range=vertical_range(
+                    placement.ho, placement.vo, self.side_length
+                ),
+            )
+            self._stores[key] = store
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Replication and failure handling (hardening beyond the paper)      #
+    # ------------------------------------------------------------------ #
+
+    def _replica_nodes_for(
+        self, key: tuple[int, int, int], store: CellStore
+    ) -> tuple[int, ...]:
+        """The cell's replica nodes: nearest alive non-holders."""
+        if not self.replication.enabled:
+            return ()
+        cached = self._replica_nodes.get(key)
+        topology = self.network.topology
+        if cached is not None and all(topology.is_alive(n) for n in cached):
+            return cached
+        pool_i, ho, vo = key
+        center = self.grid.center(self.pools[pool_i].cell_at(ho, vo))
+        holders = set(store.holders())
+        radius = max(2 * self.grid.cell_size, topology.radio_range)
+        candidates: list[int] = []
+        while len(candidates) < self.replication.replicas:
+            candidates = [
+                node
+                for node in topology.nodes_within(center, radius)
+                if node not in holders
+            ]
+            if radius > topology.field.width + topology.field.height:
+                break
+            radius *= 2.0
+        candidates.sort(key=lambda n: distance_sq(self.network.position(n), center))
+        chosen = tuple(candidates[: self.replication.replicas])
+        self._replica_nodes[key] = chosen
+        return chosen
+
+    def _replicate(self, placement: Placement, holder: int) -> int:
+        """Copy the just-stored event to the cell's replicas; returns hops."""
+        if not self.replication.enabled:
+            return 0
+        key = (placement.pool, placement.ho, placement.vo)
+        store = self._stores[key]
+        hops = 0
+        for replica in self._replica_nodes_for(key, store):
+            path = self.network.unicast(MessageCategory.REPLICATE, holder, replica)
+            hops += len(path) - 1
+        return hops
+
+    def handle_failures(self, failed: list[int] | set[int]) -> FailureReport:
+        """Remove failed nodes and repair the index (roles + data).
+
+        1. Degrade the radio graph (``Network.fail_nodes``); GPSR now
+           routes around the holes.
+        2. Re-elect index nodes and splitters lazily (caches cleared) —
+           the election rule ("closest alive node to the cell center") is
+           unchanged, so survivors agree without coordination.
+        3. Reassign every segment held by a dead node to the cell's new
+           index node.  If the cell has an alive replica, the segment's
+           events transfer from it (``REPLICATE`` messages, batched);
+           otherwise those events are lost and reported.
+        4. Re-seed replicas for cells whose replica nodes died (full-copy
+           transfer from an alive holder).
+        """
+        failed_set = set(failed)
+        self.network.fail_nodes(sorted(failed_set))
+        self._index_node_cache.clear()
+        self._splitter_cache.clear()
+        topology = self.network.topology
+        report = FailureReport(failed_nodes=frozenset(failed_set))
+        for node in failed_set:
+            self._node_load.pop(node, None)
+        for key, store in self._stores.items():
+            pool_i, ho, vo = key
+            cell = self.pools[pool_i].cell_at(ho, vo)
+            old_replicas = self._replica_nodes.get(key, ())
+            alive_replicas = [n for n in old_replicas if topology.is_alive(n)]
+            for segment in store.segments:
+                if topology.is_alive(segment.node):
+                    continue
+                new_holder = self.index_node(cell)
+                report.segments_reassigned += 1
+                if self.replication.enabled and alive_replicas:
+                    source = alive_replicas[0]
+                    hops = self.network.router.hops(source, new_holder)
+                    messages = self.replication.transfer_messages(
+                        max(len(segment), 1), hops
+                    )
+                    self.network.stats.record(MessageCategory.REPLICATE, messages)
+                    report.recovery_messages += messages
+                    report.events_recovered += len(segment)
+                    self._node_load[new_holder] = (
+                        self._node_load.get(new_holder, 0) + len(segment)
+                    )
+                else:
+                    report.events_lost += len(segment)
+                    self._event_count -= len(segment)
+                    if len(segment):
+                        report.lossy_cells.append(key)
+                    segment.events.clear()
+                    segment.keys.clear()
+                segment.node = new_holder
+            if not topology.is_alive(store.primary_node):
+                store.primary_node = self.index_node(cell)
+            # Re-seed replicas lost to the failure.
+            if self.replication.enabled and len(alive_replicas) < len(old_replicas):
+                self._replica_nodes.pop(key, None)
+                new_replicas = self._replica_nodes_for(key, store)
+                fresh = [n for n in new_replicas if n not in alive_replicas]
+                if fresh:
+                    source = store.primary_node
+                    total = store.total_events()
+                    for replica in fresh:
+                        hops = self.network.router.hops(source, replica)
+                        messages = self.replication.transfer_messages(
+                            max(total, 1), hops
+                        )
+                        self.network.stats.record(
+                            MessageCategory.REPLICATE, messages
+                        )
+                        report.recovery_messages += messages
+                        report.replicas_reseeded += 1
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Workload sharing (Section 4.2)                                     #
+    # ------------------------------------------------------------------ #
+
+    def _maybe_share(self, store: CellStore, placement: Placement) -> None:
+        if not self.sharing.enabled:
+            return
+        cell = self.pools[placement.pool].cell_at(placement.ho, placement.vo)
+        for segment in list(store.segments):
+            if len(segment) <= self.sharing.capacity:
+                continue
+            delegate = self._find_delegate(cell, store)
+            if delegate is None:
+                continue
+            source_node = segment.node
+            upper = store.split_segment(segment, delegate)
+            if upper is None:
+                continue
+            moved = len(upper)
+            self._node_load[source_node] = (
+                self._node_load.get(source_node, 0) - moved
+            )
+            self._node_load[delegate] = self._node_load.get(delegate, 0) + moved
+            hops = self.network.router.hops(source_node, delegate)
+            self.network.stats.record(
+                MessageCategory.SHARING,
+                self.sharing.transfer_messages(moved, hops),
+            )
+
+    def _find_delegate(self, cell: Cell, store: CellStore) -> int | None:
+        """Least-loaded nearby node not already holding part of the cell.
+
+        Real index nodes learn neighbor load from beacon piggybacks; the
+        load-aware choice is what lets sharing actually flatten a hotspot
+        instead of re-concentrating it on the node that already serves the
+        adjacent hot cells.
+        """
+        center = self.grid.center(cell)
+        radius = max(
+            self.sharing.search_radius_cells * self.grid.cell_size,
+            self.network.topology.radio_range,
+        )
+        holders = set(store.holders())
+        field = self.network.topology.field
+        max_radius = field.width + field.height
+        candidates: list[int] = []
+        # The configured radius may hold no free node at sparse densities;
+        # widen until one turns up (a real node would escalate through its
+        # multi-hop neighborhood the same way).
+        while not candidates and radius <= max_radius:
+            candidates = [
+                node
+                for node in self.network.topology.nodes_within(center, radius)
+                if node not in holders
+            ]
+            radius *= 2.0
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda n: (
+                self._node_load.get(n, 0),
+                distance_sq(self.network.position(n), center),
+            ),
+        )
+
+    def handoff_cell(self, pool: int, ho: int, vo: int) -> int | None:
+        """Energy rotation: move a whole cell to a fresh node, old one sleeps.
+
+        Returns the new holder, or ``None`` when no candidate exists.
+        Charges ``SHARING`` messages for the state transfer.
+        """
+        store = self._stores.get((pool, ho, vo))
+        if store is None:
+            return None
+        cell = self.pools[pool].cell_at(ho, vo)
+        new_node = self._find_delegate(cell, store)
+        if new_node is None:
+            return None
+        hops = self.network.router.hops(store.primary_node, new_node)
+        old_node = store.primary_node
+        moved = 0
+        for segment in store.segments:
+            if segment.node == old_node:
+                moved += store.handoff_segment(segment, new_node)
+        if moved:
+            self._node_load[old_node] = self._node_load.get(old_node, 0) - moved
+            self._node_load[new_node] = self._node_load.get(new_node, 0) + moved
+        self.network.stats.record(
+            MessageCategory.SHARING,
+            self.sharing.transfer_messages(max(moved, 1), hops),
+        )
+        store.primary_node = new_node
+        return new_node
+
+    # ------------------------------------------------------------------ #
+    # Query processing (Section 3.2)                                     #
+    # ------------------------------------------------------------------ #
+
+    def query(self, sink: int, query: RangeQuery) -> QueryResult:
+        """Resolve, forward and answer ``query`` from node ``sink``.
+
+        Per Pool with at least one relevant cell: the sink unicasts the
+        query to the Pool's splitter, the splitter fans out to every
+        relevant cell's holder along a merged GPSR tree, and the replies
+        aggregate back over the same edges (Section 3.2.3).
+        """
+        if query.dimensions != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
+        detail = PoolQueryDetail()
+        events: list[Event] = []
+        forward_cost = 0
+        reply_cost = 0
+        visited: list[int] = []
+        for pool in self.pools:
+            offsets = relevant_offsets(query, pool.index, self.side_length)
+            if not offsets:
+                continue
+            derived = query_ranges_for_pool(query, pool.index)
+            cells: list[Cell] = []
+            destinations: dict[int, None] = {}
+            for ho, vo in offsets:
+                cell = pool.cell_at(ho, vo)
+                cells.append(cell)
+                store = self._stores.get((pool.index, ho, vo))
+                if store is None:
+                    destinations[self.index_node(cell)] = None
+                    continue
+                for segment in store.segments_overlapping(derived.vertical):
+                    destinations[segment.node] = None
+                    for event, key in zip(segment.events, segment.keys):
+                        if query.matches(event):
+                            events.append(event)
+            dest_nodes = list(destinations)
+            plan = self._forward(sink, pool.index, cells, dest_nodes)
+            detail.plans.append(plan)
+            forward_cost += plan.forward_cost
+            reply_cost += plan.forward_cost  # aggregated replies retrace it
+            visited.extend(dest_nodes)
+        return QueryResult(
+            events=events,
+            forward_cost=forward_cost,
+            reply_cost=reply_cost,
+            visited_nodes=tuple(visited),
+            detail=detail,
+            # Pools are queried in parallel: latency is the worst pool.
+            depth_hops=max(
+                (plan.depth_hops for plan in detail.plans), default=0
+            ),
+        )
+
+    def explain(self, sink: int, query: RangeQuery) -> str:
+        """A human-readable query plan — computed locally, zero messages.
+
+        Shows, per Pool, the Theorem 3.2 derived ranges, the relevant
+        cells, the splitter and the physical holders a real execution
+        would visit.  Useful for debugging workloads and for teaching the
+        scheme; the plan text is stable for a fixed topology and seed.
+        """
+        if query.dimensions != self.dimensions:
+            raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
+        checkpoint = self.network.stats.checkpoint()
+        lines = [f"plan for {query} at sink {sink}:"]
+        for pool in self.pools:
+            derived = query_ranges_for_pool(query, pool.index)
+            header = (
+                f"  P{pool.index + 1} (pivot {pool.pivot!r}): "
+                f"R_H=[{derived.horizontal[0]:.3g}, {derived.horizontal[1]:.3g}] "
+                f"R_V=[{derived.vertical[0]:.3g}, {derived.vertical[1]:.3g}]"
+            )
+            offsets = relevant_offsets(query, pool.index, self.side_length)
+            if not offsets:
+                lines.append(header + " -> pruned")
+                continue
+            lines.append(header)
+            splitter = self.splitter(sink, pool.index)
+            lines.append(f"    splitter: node {splitter}")
+            for ho, vo in offsets:
+                cell = pool.cell_at(ho, vo)
+                store = self._stores.get((pool.index, ho, vo))
+                if store is None:
+                    holders = f"node {self.index_node(cell)} (empty)"
+                else:
+                    parts = []
+                    for segment in store.segments_overlapping(derived.vertical):
+                        parts.append(f"node {segment.node} x{len(segment)}")
+                    holders = ", ".join(parts) if parts else "no overlapping segment"
+                lines.append(f"    {cell!r} (HO={ho}, VO={vo}): {holders}")
+        # Planning must never have caused traffic.
+        assert all(v == 0 for v in self.network.stats.delta(checkpoint).values())
+        return "\n".join(lines)
+
+    def aggregate(
+        self,
+        sink: int,
+        query: RangeQuery,
+        *,
+        dimension: int = 0,
+        kind: AggregateKind = AggregateKind.COUNT,
+    ) -> AggregateResult:
+        """In-network aggregate over the query's qualifying events.
+
+        Partial :class:`~repro.aggregates.AggregateState` values fold at
+        each holder, merge at branch points of the reply tree and at each
+        Pool's splitter (Section 3.2.3), and finalize at the sink.  The
+        single-copy rule of Section 4.1 makes the result exact — no event
+        is double counted even when its greatest value ties across
+        dimensions.
+
+        Message cost equals the corresponding range query's cost: the
+        same forwarding tree, with O(1)-size replies.
+        """
+        if not 0 <= dimension < self.dimensions:
+            raise ConfigurationError(
+                f"aggregate dimension {dimension} outside 0..{self.dimensions - 1}"
+            )
+        result = self.query(sink, query)
+        state = AggregateState.of_events(result.events, dimension)
+        return AggregateResult(
+            kind=kind,
+            dimension=dimension,
+            state=state,
+            forward_cost=result.forward_cost,
+            reply_cost=result.reply_cost,
+            detail=result.detail,
+        )
+
+    def _forward(
+        self, sink: int, pool: int, cells: list[Cell], destinations: list[int]
+    ) -> PoolPlan:
+        """Charge the forwarding (and implicitly reply) messages for a Pool."""
+        if self.route_via_splitter:
+            splitter = self.splitter(sink, pool)
+            path = self.network.unicast(MessageCategory.QUERY_FORWARD, sink, splitter)
+            sink_hops = len(path) - 1
+            root = splitter
+        else:
+            splitter = sink
+            sink_hops = 0
+            root = sink
+        tree = self.network.multicast(MessageCategory.QUERY_FORWARD, root, destinations)
+        # Aggregated replies: back down the tree, then splitter -> sink.
+        self.network.reply_up_tree(MessageCategory.QUERY_REPLY, tree)
+        self.network.stats.record(MessageCategory.QUERY_REPLY, sink_hops)
+        return PoolPlan(
+            pool=pool,
+            splitter=splitter,
+            cells=tuple(cells),
+            index_nodes=tuple(destinations),
+            sink_to_splitter_hops=sink_hops,
+            tree_edges=tree.forward_cost,
+            depth_hops=sink_hops + tree.height(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stored_events(self) -> int:
+        """Total events currently stored across all Pools."""
+        return self._event_count
+
+    def all_events(self) -> list[Event]:
+        """Every stored event (ground truth for correctness tests)."""
+        collected: list[Event] = []
+        for store in self._stores.values():
+            collected.extend(store.all_events())
+        return collected
+
+    def storage_distribution(self) -> dict[int, int]:
+        """Events per physical node — the hotspot metric."""
+        per_node: dict[int, int] = {}
+        for store in self._stores.values():
+            for segment in store.segments:
+                if segment.events:
+                    per_node[segment.node] = (
+                        per_node.get(segment.node, 0) + len(segment.events)
+                    )
+        return per_node
+
+    def index_nodes(self) -> set[int]:
+        """All physical nodes elected index node of some Pool cell.
+
+        Its size is at most ``k·l²`` regardless of network size — the
+        scalability property of Section 1.
+        """
+        return {
+            self.index_node(cell)
+            for pool in self.pools
+            for cell in pool.cells()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PoolSystem(k={self.dimensions}, l={self.side_length}, "
+            f"events={self._event_count})"
+        )

@@ -1,0 +1,124 @@
+"""Common interface for data-centric storage (DCS) systems.
+
+Pool, DIM and GHT all follow the same life cycle — events are inserted at
+a home node determined by their *content*, and queries are forwarded to
+the nodes whose content could match — so the benchmark harness drives them
+through one protocol.  The receipt/result records double as the accounting
+surface: every operation reports exactly which messages it cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+from repro.aggregates import AggregateKind, AggregateState
+from repro.events.event import Event
+from repro.events.queries import RangeQuery
+
+__all__ = [
+    "InsertReceipt",
+    "QueryResult",
+    "AggregateResult",
+    "DataCentricStore",
+]
+
+
+@dataclass(slots=True)
+class InsertReceipt:
+    """Outcome of storing one event.
+
+    Attributes
+    ----------
+    home_node:
+        Physical node id now holding the event.
+    hops:
+        One-hop transmissions spent routing the event there.
+    detail:
+        System-specific placement info (Pool cell, DIM zone code, ...).
+    """
+
+    home_node: int
+    hops: int
+    detail: Any = None
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Outcome of processing one query.
+
+    ``forward_cost + reply_cost`` is the paper's query-processing metric:
+    "the cost of forwarding the query to the query-relevant index nodes
+    plus the cost of retrieving the qualifying events" (Section 5).
+    """
+
+    events: list[Event]
+    forward_cost: int
+    reply_cost: int
+    visited_nodes: tuple[int, ...] = ()
+    detail: Any = None
+    #: Critical-path hops of the dissemination (deepest sink-to-holder
+    #: chain).  Round-trip latency ≈ 2 * depth_hops * per-hop latency.
+    depth_hops: int = 0
+
+    @property
+    def total_cost(self) -> int:
+        """Total messages charged to this query."""
+        return self.forward_cost + self.reply_cost
+
+    def latency(self, hop_latency: float = 0.01) -> float:
+        """Estimated wall-clock round trip given a per-hop latency."""
+        return 2.0 * self.depth_hops * hop_latency
+
+    @property
+    def match_count(self) -> int:
+        """Number of qualifying events returned."""
+        return len(self.events)
+
+
+@dataclass(slots=True)
+class AggregateResult:
+    """Outcome of an in-network aggregate query (Section 3.2.3).
+
+    The partial states merge at branch points of the reply tree (each
+    tree edge carries one fixed-size partial instead of raw events), so
+    the message cost equals the range query's tree cost while the reply
+    payloads shrink from O(matches) to O(1).
+    """
+
+    kind: AggregateKind
+    dimension: int
+    state: AggregateState
+    forward_cost: int
+    reply_cost: int
+    detail: Any = None
+
+    @property
+    def value(self) -> float:
+        """The finalized aggregate."""
+        return self.state.finalize(self.kind)
+
+    @property
+    def count(self) -> int:
+        """Number of qualifying events folded into the state."""
+        return self.state.count
+
+    @property
+    def total_cost(self) -> int:
+        return self.forward_cost + self.reply_cost
+
+
+@runtime_checkable
+class DataCentricStore(Protocol):
+    """What the benchmark harness requires of a storage system."""
+
+    #: Event dimensionality ``k`` the system was configured for.
+    dimensions: int
+
+    def insert(self, event: Event, source: int | None = None) -> InsertReceipt:
+        """Store ``event``; ``source`` overrides ``event.source``."""
+        ...
+
+    def query(self, sink: int, query: RangeQuery) -> QueryResult:
+        """Resolve and execute ``query`` issued at node ``sink``."""
+        ...

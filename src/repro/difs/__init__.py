@@ -1,0 +1,12 @@
+"""DIFS — Distributed Index for Features in Sensornets (Greenstein et al.).
+
+One of the predecessor DCS systems the paper positions itself against
+(Section 1): a hierarchical index supporting range queries over a
+*single* attribute.  Included so the library covers the full lineage —
+GHT (exact match) → DIFS (1-D ranges) → DIM (k-D ranges, the baseline) →
+Pool (this paper).
+"""
+
+from repro.difs.index import DifsIndex
+
+__all__ = ["DifsIndex"]

@@ -1,0 +1,14 @@
+"""DIM — Distributed Index for Multi-dimensional data (Li et al. 2003).
+
+The baseline system of the paper's evaluation: a k-d-tree-like partition
+embedded in the sensor field.  Every sensor owns a *zone* identified by a
+binary code; the same code simultaneously addresses a geographic region
+and a hyper-rectangle of the value space, so events route to the zone
+whose value box contains them and range queries decompose into the set of
+overlapping zones.
+"""
+
+from repro.dim.zones import Zone, ZoneTree
+from repro.dim.index import DimIndex
+
+__all__ = ["Zone", "ZoneTree", "DimIndex"]

@@ -1,0 +1,31 @@
+"""Events, queries and workload generators.
+
+This package is pure data: it knows nothing about sensors or radios.
+
+* :mod:`repro.events.event` — the k-dimensional :class:`Event` record and the
+  greatest/second-greatest dimension machinery the Pool mapping relies on.
+* :mod:`repro.events.queries` — the four query classes of the paper
+  (exact/partial × point/range) expressed as one :class:`RangeQuery` type.
+* :mod:`repro.events.generators` — reproducible event and query workloads.
+"""
+
+from repro.events.event import Event
+from repro.events.queries import QueryKind, RangeQuery
+from repro.events.generators import (
+    EventWorkload,
+    QueryWorkload,
+    generate_events,
+    exact_match_queries,
+    partial_match_queries,
+)
+
+__all__ = [
+    "Event",
+    "QueryKind",
+    "RangeQuery",
+    "EventWorkload",
+    "QueryWorkload",
+    "generate_events",
+    "exact_match_queries",
+    "partial_match_queries",
+]

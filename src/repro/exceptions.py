@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so applications can catch
+everything raised by this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "DimensionMismatchError",
+    "RoutingError",
+    "DeliveryError",
+    "TopologyError",
+    "StorageError",
+    "CapacityError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A system was constructed with inconsistent or invalid parameters."""
+
+
+class ValidationError(ReproError, ValueError):
+    """User supplied data (event values, query bounds) is out of domain."""
+
+
+class DimensionMismatchError(ValidationError):
+    """An event or query has the wrong number of dimensions for the system."""
+
+    def __init__(self, expected: int, actual: int, what: str = "event") -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"{what} has {actual} dimension(s); this system requires {expected}"
+        )
+
+
+class TopologyError(ReproError):
+    """The physical network layout violates an assumption (e.g. no nodes)."""
+
+
+class RoutingError(ReproError):
+    """GPSR could not make forwarding progress."""
+
+
+class DeliveryError(RoutingError):
+    """A packet exhausted its TTL or looped without reaching the target."""
+
+    def __init__(self, message: str, partial_path: list[int] | None = None) -> None:
+        super().__init__(message)
+        self.partial_path: list[int] = partial_path or []
+
+
+class StorageError(ReproError):
+    """An index node could not store or hand off an event."""
+
+
+class CapacityError(StorageError):
+    """A node's storage budget is exhausted and no delegate is available."""
+
+
+class QueryError(ReproError):
+    """A query could not be resolved or forwarded."""

@@ -1,0 +1,9 @@
+"""Geographic Hash Table (Ratnasamy et al., MONET 2003).
+
+GHT is both a baseline the paper cites (exact-match point queries only)
+and a substrate Pool's Algorithm 1 references for pivot-cell lookup.
+"""
+
+from repro.ght.ght import GeographicHashTable
+
+__all__ = ["GeographicHashTable"]

@@ -1,0 +1,123 @@
+"""Geographic Hash Table: data-centric storage by hashed location.
+
+GHT [Ratnasamy et al. 2003] hashes an event's *key* (its event type, or
+any string) to a geographic point inside the deployment field; the node
+closest to that point — the *home node* — stores all values for the key.
+``get`` routes to the same point and carries the stored values back.
+
+This gives exact-match lookup in ``O(path length)`` messages, but no range
+or partial-match capability: the hash destroys value locality, which is
+exactly the limitation (Section 1 of the Pool paper) that motivates DIM
+and Pool.  We use GHT two ways:
+
+* as the cited exact-match baseline in examples/ablations, and
+* as the distributed directory Pool's Algorithm 1 (line 4) consults to
+  resolve a Pool id to its pivot-cell location.
+
+The hash is a deterministic SHA-256 of the key (salted per table), scaled
+into the field rectangle, so any node computes the same home location with
+no coordination — the essence of DCS.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.exceptions import QueryError
+from repro.geometry import Point
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+
+__all__ = ["GeographicHashTable", "GhtReceipt"]
+
+
+@dataclass(slots=True)
+class GhtReceipt:
+    """Outcome of a GHT operation, for cost inspection."""
+
+    key: Hashable
+    home_node: int
+    home_point: Point
+    hops: int
+    values: list[Any] = field(default_factory=list)
+
+
+class GeographicHashTable:
+    """A put/get key-value store over a :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        Communication substrate (routing + accounting).
+    salt:
+        Distinguishes independent tables on the same network; also makes
+        hash placement reproducible per table.
+    """
+
+    def __init__(self, network: Network, *, salt: str = "ght") -> None:
+        self.network = network
+        self.salt = salt
+        # Physical store: home node id -> key -> values.  Nodes only ever
+        # read their own bucket; the dict is just the simulator's memory.
+        self._store: dict[int, dict[Hashable, list[Any]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Hashing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def hash_point(self, key: Hashable) -> Point:
+        """Deterministic location of ``key`` inside the deployment field."""
+        digest = hashlib.sha256(f"{self.salt}:{key!r}".encode("utf-8")).digest()
+        # Two independent 64-bit lanes -> unit square -> field rectangle.
+        unit_x = int.from_bytes(digest[:8], "big") / 2**64
+        unit_y = int.from_bytes(digest[8:16], "big") / 2**64
+        bounds = self.network.topology.field
+        return Point(
+            bounds.x_min + unit_x * bounds.width,
+            bounds.y_min + unit_y * bounds.height,
+        )
+
+    def home_node(self, key: Hashable) -> int:
+        """The node storing ``key``: closest node to the hashed location."""
+        return self.network.closest_node(self.hash_point(key))
+
+    # ------------------------------------------------------------------ #
+    # Operations                                                         #
+    # ------------------------------------------------------------------ #
+
+    def put(self, src: int, key: Hashable, value: Any) -> GhtReceipt:
+        """Store ``value`` under ``key`` at the key's home node."""
+        point = self.hash_point(key)
+        home, path = self.network.unicast_to_point(MessageCategory.DHT, src, point)
+        self._store.setdefault(home, {}).setdefault(key, []).append(value)
+        return GhtReceipt(key, home, point, hops=len(path) - 1, values=[value])
+
+    def get(self, src: int, key: Hashable) -> GhtReceipt:
+        """Fetch every value stored under ``key``.
+
+        Cost: the request path to the home node plus one reply message per
+        hop on the reverse path (the reply carries all values at once).
+        """
+        point = self.hash_point(key)
+        home, path = self.network.unicast_to_point(MessageCategory.DHT, src, point)
+        values = list(self._store.get(home, {}).get(key, []))
+        # Reply retraces the request path.
+        self.network.stats.record_path(MessageCategory.DHT, list(reversed(path)))
+        return GhtReceipt(key, home, point, hops=2 * (len(path) - 1), values=values)
+
+    def local_values(self, node: int, key: Hashable) -> list[Any]:
+        """Values of ``key`` held at ``node`` (no messages; node-local read)."""
+        return list(self._store.get(node, {}).get(key, []))
+
+    def stored_keys(self, node: int) -> tuple[Hashable, ...]:
+        """Keys homed at ``node``."""
+        return tuple(self._store.get(node, {}).keys())
+
+    def require(self, src: int, key: Hashable) -> GhtReceipt:
+        """Like :meth:`get` but raises :class:`QueryError` on a miss."""
+        receipt = self.get(src, key)
+        if not receipt.values:
+            raise QueryError(f"GHT has no values for key {key!r}")
+        return receipt

@@ -1,0 +1,32 @@
+"""Sensor-network substrate: deployment, radio accounting, simulation.
+
+* :mod:`repro.network.topology` — node placement, neighbor tables, field
+  geometry (the paper's uniform deployment with ~20 neighbors per node).
+* :mod:`repro.network.messages` — message categories and records.
+* :mod:`repro.network.radio` — per-category message statistics and the
+  energy model used to interpret them.
+* :mod:`repro.network.node` — per-node runtime state for the simulator.
+* :mod:`repro.network.simulator` — a small discrete-event kernel with a
+  beacon protocol that builds neighbor tables the way real nodes would.
+* :mod:`repro.network.network` — the :class:`Network` facade the storage
+  systems (Pool, DIM, GHT) program against.
+"""
+
+from repro.network.messages import Message, MessageCategory
+from repro.network.radio import EnergyModel, MessageStats
+from repro.network.topology import Topology, deploy_grid, deploy_uniform
+from repro.network.network import Network
+from repro.network.simulator import Simulator, SimNode
+
+__all__ = [
+    "Message",
+    "MessageCategory",
+    "MessageStats",
+    "EnergyModel",
+    "Topology",
+    "deploy_uniform",
+    "deploy_grid",
+    "Network",
+    "Simulator",
+    "SimNode",
+]

@@ -1,0 +1,162 @@
+"""The :class:`Network` facade the storage systems program against.
+
+It bundles a :class:`~repro.network.topology.Topology`, a
+:class:`~repro.routing.gpsr.GPSRRouter` and one shared
+:class:`~repro.network.radio.MessageStats` ledger, and exposes the handful
+of communication primitives Pool, DIM and GHT need:
+
+* :meth:`unicast` / :meth:`unicast_to_point` — one logical message, hop
+  count recorded under a category;
+* :meth:`multicast` — build a merged forwarding tree and record the
+  dissemination cost;
+* :meth:`reply_up_tree` — record the aggregated reply traffic of a tree.
+
+Keeping all accounting behind one object means an experiment can reset the
+ledger, run a phase, and read exactly the paper's metric.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry import Point
+from repro.network.radio import EnergyModel, MessageStats
+from repro.network.messages import MessageCategory
+from repro.network.topology import Topology
+from repro.routing.gpsr import GPSRRouter
+from repro.routing.multicast import MulticastTree, TreeBuilder
+from repro.routing.planarization import PlanarizationKind
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Topology + routing + accounting, as one object.
+
+    Parameters
+    ----------
+    topology:
+        The deployed sensor field.
+    planarization:
+        Planar subgraph for GPSR perimeter mode.
+    energy_model:
+        Interprets the message ledger as battery drain; optional.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        planarization: PlanarizationKind = "gabriel",
+        energy_model: EnergyModel | None = None,
+    ) -> None:
+        self.topology = topology
+        self.router = GPSRRouter(topology, planarization=planarization)
+        self.stats = MessageStats()
+        self.energy_model = energy_model or EnergyModel()
+
+    # ------------------------------------------------------------------ #
+    # Topology passthroughs                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """Number of sensor nodes."""
+        return self.topology.size
+
+    def position(self, node: int) -> Point:
+        """Geographic position of a node."""
+        return self.topology.position(node)
+
+    def closest_node(self, point: tuple[float, float]) -> int:
+        """Home node of a geographic location."""
+        return self.topology.closest_node(point)
+
+    # ------------------------------------------------------------------ #
+    # Failures                                                           #
+    # ------------------------------------------------------------------ #
+
+    def fail_nodes(self, nodes: Sequence[int]) -> None:
+        """Remove ``nodes`` from the radio graph in place.
+
+        The message ledger and energy model survive; the router is
+        rebuilt over the degraded topology so subsequent traffic routes
+        around the failures (GPSR's perimeter mode handles the holes).
+        Storage systems holding this facade should call their own
+        failure handler afterwards to re-elect roles and recover data
+        (e.g. :meth:`repro.core.system.PoolSystem.handle_failures`).
+        """
+        self.topology = self.topology.without(tuple(nodes))
+        self.router = GPSRRouter(
+            self.topology, planarization=self.router.planarization_kind
+        )
+
+    @property
+    def failed_nodes(self) -> frozenset[int]:
+        """Ids removed from the radio graph so far."""
+        return self.topology.excluded
+
+    # ------------------------------------------------------------------ #
+    # Communication primitives                                           #
+    # ------------------------------------------------------------------ #
+
+    def unicast(
+        self, category: MessageCategory, src: int, dst: int
+    ) -> list[int]:
+        """Send one logical message ``src -> dst``; returns the hop path."""
+        path = self.router.path(src, dst)
+        self.stats.record_path(category, path)
+        return path
+
+    def unicast_to_point(
+        self, category: MessageCategory, src: int, point: tuple[float, float]
+    ) -> tuple[int, list[int]]:
+        """Send to a geographic location; returns ``(home_node, path)``."""
+        path = self.router.path_to_point(src, point)
+        self.stats.record_path(category, path)
+        return path[-1], path
+
+    def multicast(
+        self,
+        category: MessageCategory,
+        src: int,
+        destinations: Sequence[int],
+    ) -> MulticastTree:
+        """Disseminate one message to ``destinations`` along a merged tree.
+
+        Records one transmission per tree edge under ``category`` and
+        returns the tree (callers typically follow up with
+        :meth:`reply_up_tree`).
+        """
+        builder = TreeBuilder(self.router, src)
+        builder.add_destinations(list(destinations))
+        tree = builder.build()
+        self.stats.record(category, tree.forward_cost)
+        return tree
+
+    def reply_up_tree(
+        self, category: MessageCategory, tree: MulticastTree
+    ) -> int:
+        """Record the aggregated reply traffic of ``tree``; returns its cost.
+
+        One message per tree edge: replies merge at branch points before
+        being forwarded upstream (Section 3.2.3's in-network aggregation).
+        """
+        cost = tree.reply_cost
+        self.stats.record(category, cost)
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Accounting helpers                                                 #
+    # ------------------------------------------------------------------ #
+
+    def reset_stats(self) -> None:
+        """Zero the message ledger (start of a measured phase)."""
+        self.stats.reset()
+
+    def remaining_energy(self) -> dict[int, float]:
+        """Per-node remaining battery implied by the current ledger."""
+        return self.energy_model.per_node_remaining(self.stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network({self.topology!r})"

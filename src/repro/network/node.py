@@ -1,0 +1,107 @@
+"""Per-node runtime state for the discrete-event simulator.
+
+The synchronous benchmark path never instantiates these; they exist so the
+event-driven simulator (:mod:`repro.network.simulator`) can model what real
+sensors do between protocol steps: keep a neighbor table fresh via beacons
+(the paper's Section 2 assumption), hold local storage, and dispatch
+received messages to protocol handlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.geometry import Point
+from repro.network.messages import Message, MessageCategory
+
+__all__ = ["SimNode", "NeighborEntry"]
+
+Handler = Callable[["SimNode", Message], None]
+
+
+@dataclass(slots=True)
+class NeighborEntry:
+    """One row of a node's neighbor table, refreshed by beacons."""
+
+    node: int
+    position: Point
+    last_heard: float
+
+    def is_stale(self, now: float, timeout: float) -> bool:
+        """Whether the entry should be evicted (no beacon for ``timeout``)."""
+        return now - self.last_heard > timeout
+
+
+class SimNode:
+    """A sensor node inside the discrete-event simulator.
+
+    Attributes
+    ----------
+    node_id, position:
+        Identity and location (every node knows its own location via GPS
+        or equivalent, per the paper's Section 2 assumption).
+    neighbor_table:
+        Peer entries learned from beacons — *not* copied from the global
+        topology; the beacon protocol has to discover them.
+    storage:
+        Free-form per-protocol storage (events, delegation records, ...).
+    """
+
+    def __init__(self, node_id: int, position: Point) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.neighbor_table: dict[int, NeighborEntry] = {}
+        self.storage: dict[str, Any] = {}
+        self._handlers: dict[MessageCategory, Handler] = {}
+        self.alive = True
+
+    # ------------------------------------------------------------------ #
+    # Neighbor table                                                     #
+    # ------------------------------------------------------------------ #
+
+    def hear_beacon(self, peer: int, position: Point, now: float) -> None:
+        """Refresh (or create) the neighbor entry for ``peer``."""
+        self.neighbor_table[peer] = NeighborEntry(peer, position, now)
+
+    def evict_stale_neighbors(self, now: float, timeout: float) -> list[int]:
+        """Drop entries not refreshed within ``timeout``; returns evictees."""
+        stale = [
+            node
+            for node, entry in self.neighbor_table.items()
+            if entry.is_stale(now, timeout)
+        ]
+        for node in stale:
+            del self.neighbor_table[node]
+        return stale
+
+    def known_neighbors(self) -> tuple[int, ...]:
+        """Sorted ids currently in the neighbor table."""
+        return tuple(sorted(self.neighbor_table))
+
+    # ------------------------------------------------------------------ #
+    # Message dispatch                                                   #
+    # ------------------------------------------------------------------ #
+
+    def on(self, category: MessageCategory, handler: Handler) -> None:
+        """Register the handler invoked when a ``category`` message arrives."""
+        self._handlers[category] = handler
+
+    def deliver(self, message: Message) -> None:
+        """Dispatch an arrived message to its handler (if any)."""
+        if not self.alive:
+            return
+        handler = self._handlers.get(message.category)
+        if handler is not None:
+            handler(self, message)
+
+    def sleep(self) -> None:
+        """Enter the low-power state (workload sharing, Section 4.2)."""
+        self.alive = False
+
+    def wake(self) -> None:
+        """Leave the low-power state."""
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimNode({self.node_id} @ {self.position})"

@@ -1,0 +1,191 @@
+"""Radio-level accounting: message counters and the energy model.
+
+:class:`MessageStats` is the single source of truth for the paper's cost
+metric.  Every layer that causes a transmission (routing, forwarding trees,
+workload sharing) reports into one shared instance owned by the
+:class:`~repro.network.network.Network` facade.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.network.messages import MessageCategory
+
+__all__ = ["MessageStats", "EnergyModel"]
+
+
+class MessageStats:
+    """Per-category transmission counters.
+
+    A "message" here is one one-hop radio transmission, matching the unit
+    on the y-axis of the paper's Figures 6 and 7.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[MessageCategory] = Counter()
+        self._per_node_tx: Counter[int] = Counter()
+        self._per_node_rx: Counter[int] = Counter()
+        self._tracer = None  # optional MessageTracer
+
+    def attach_tracer(self, tracer) -> None:
+        """Mirror every recorded transmission into ``tracer``.
+
+        Pass ``None`` to detach.  See :mod:`repro.network.trace`.
+        """
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------ #
+    # Recording                                                          #
+    # ------------------------------------------------------------------ #
+
+    def record(
+        self,
+        category: MessageCategory,
+        hops: int = 1,
+        *,
+        sender: int | None = None,
+        receiver: int | None = None,
+    ) -> None:
+        """Record ``hops`` transmissions in ``category``.
+
+        ``sender``/``receiver`` feed the per-node energy ledger when the
+        caller knows them (single-hop case).
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        if hops == 0:
+            return
+        self._counts[category] += hops
+        if sender is not None:
+            self._per_node_tx[sender] += hops
+        if receiver is not None:
+            self._per_node_rx[receiver] += hops
+        if self._tracer is not None:
+            self._tracer.record(category, hops, sender, receiver)
+
+    def record_path(self, category: MessageCategory, path: Iterable[int]) -> None:
+        """Record a multi-hop traversal: one transmission per path edge."""
+        previous: int | None = None
+        for node in path:
+            if previous is not None:
+                self.record(category, sender=previous, receiver=node)
+            previous = node
+
+    # ------------------------------------------------------------------ #
+    # Reading                                                            #
+    # ------------------------------------------------------------------ #
+
+    def count(self, category: MessageCategory) -> int:
+        """Transmissions recorded in one category."""
+        return self._counts[category]
+
+    @property
+    def total(self) -> int:
+        """Transmissions across all categories."""
+        return sum(self._counts.values())
+
+    def query_cost(self) -> int:
+        """The paper's query-processing cost: forward + reply messages."""
+        return (
+            self._counts[MessageCategory.QUERY_FORWARD]
+            + self._counts[MessageCategory.QUERY_REPLY]
+        )
+
+    def snapshot(self) -> dict[str, int]:
+        """Immutable view of all counters, keyed by category value."""
+        return {category.value: self._counts[category] for category in MessageCategory}
+
+    def per_node_transmissions(self) -> Mapping[int, int]:
+        """Read-only view of transmissions by sending node."""
+        return dict(self._per_node_tx)
+
+    def per_node_receptions(self) -> Mapping[int, int]:
+        """Read-only view of receptions by receiving node."""
+        return dict(self._per_node_rx)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Zero every counter (start of a measured phase)."""
+        self._counts.clear()
+        self._per_node_tx.clear()
+        self._per_node_rx.clear()
+
+    def checkpoint(self) -> "StatsCheckpoint":
+        """Capture current counters; subtract later with ``delta()``."""
+        return StatsCheckpoint(dict(self._counts))
+
+    def delta(self, checkpoint: "StatsCheckpoint") -> dict[str, int]:
+        """Per-category transmissions since ``checkpoint``."""
+        return {
+            category.value: self._counts[category]
+            - checkpoint.counts.get(category, 0)
+            for category in MessageCategory
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{category.value}={count}" for category, count in self._counts.items()
+        )
+        return f"MessageStats({parts})"
+
+
+@dataclass(frozen=True, slots=True)
+class StatsCheckpoint:
+    """A frozen copy of :class:`MessageStats` counters."""
+
+    counts: dict[MessageCategory, int]
+
+
+@dataclass(slots=True)
+class EnergyModel:
+    """First-order radio energy model (Heinzelman et al. style).
+
+    Energy is derived from the transmission ledger rather than tracked
+    live: ``energy(node) = tx_cost * transmissions + rx_cost * receptions``.
+    Defaults approximate a mica2-class radio sending small index packets;
+    the absolute scale is irrelevant to the paper's relative comparisons.
+
+    Attributes
+    ----------
+    tx_cost:
+        Joules per transmitted message.
+    rx_cost:
+        Joules per received message.
+    idle_cost_per_s:
+        Joules per second of idle listening (used by the simulator's
+        low-power-state accounting in the workload-sharing experiments).
+    """
+
+    tx_cost: float = 50e-6
+    rx_cost: float = 25e-6
+    idle_cost_per_s: float = 1e-6
+    initial_energy: float = field(default=2.0)
+
+    def spent(self, transmissions: int, receptions: int, idle_s: float = 0.0) -> float:
+        """Energy consumed by a node with the given activity."""
+        return (
+            self.tx_cost * transmissions
+            + self.rx_cost * receptions
+            + self.idle_cost_per_s * idle_s
+        )
+
+    def remaining(
+        self, transmissions: int, receptions: int, idle_s: float = 0.0
+    ) -> float:
+        """Remaining battery after the given activity (can go negative)."""
+        return self.initial_energy - self.spent(transmissions, receptions, idle_s)
+
+    def per_node_remaining(self, stats: MessageStats) -> dict[int, float]:
+        """Remaining energy per node id, from a stats ledger."""
+        tx = stats.per_node_transmissions()
+        rx = stats.per_node_receptions()
+        nodes = set(tx) | set(rx)
+        return {
+            node: self.remaining(tx.get(node, 0), rx.get(node, 0)) for node in nodes
+        }

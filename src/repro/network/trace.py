@@ -1,0 +1,136 @@
+"""Structured message tracing for debugging and protocol inspection.
+
+``MessageStats`` answers *how much* was transmitted; this module answers
+*what happened*: an optional, bounded ring buffer of per-transmission
+records that higher layers can filter and pretty-print.  Tracing is off
+by default and costs one `if` per transmission when disabled.
+
+Usage::
+
+    tracer = MessageTracer(capacity=10_000)
+    network = Network(topology)
+    network.stats.attach_tracer(tracer)
+    ...
+    for record in tracer.filter(category=MessageCategory.QUERY_FORWARD):
+        print(record)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.network.messages import MessageCategory
+
+__all__ = ["TraceRecord", "MessageTracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One radio transmission, as seen by the accounting layer."""
+
+    seq: int
+    category: MessageCategory
+    sender: int | None
+    receiver: int | None
+    hops: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        src = self.sender if self.sender is not None else "?"
+        dst = self.receiver if self.receiver is not None else "?"
+        return f"#{self.seq} {self.category.value} {src}->{dst} x{self.hops}"
+
+
+class MessageTracer:
+    """A bounded buffer of :class:`TraceRecord` entries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained records; older entries are dropped FIFO, so long
+        experiments keep only the recent window (and never grow memory).
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording (called by MessageStats)                                 #
+    # ------------------------------------------------------------------ #
+
+    def record(
+        self,
+        category: MessageCategory,
+        hops: int,
+        sender: int | None,
+        receiver: int | None,
+    ) -> None:
+        """Append one transmission record (drops oldest at capacity)."""
+        self._seq += 1
+        if len(self._records) == self.capacity:
+            self._dropped += 1
+        self._records.append(
+            TraceRecord(
+                seq=self._seq,
+                category=category,
+                sender=sender,
+                receiver=receiver,
+                hops=hops,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Inspection                                                         #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted because the buffer was full."""
+        return self._dropped
+
+    def filter(
+        self,
+        *,
+        category: MessageCategory | None = None,
+        node: int | None = None,
+    ) -> list[TraceRecord]:
+        """Records matching a category and/or involving a node."""
+        out = []
+        for record in self._records:
+            if category is not None and record.category is not category:
+                continue
+            if node is not None and node not in (record.sender, record.receiver):
+                continue
+            out.append(record)
+        return out
+
+    def tail(self, count: int = 20) -> list[TraceRecord]:
+        """The most recent ``count`` records."""
+        if count <= 0:
+            return []
+        return list(self._records)[-count:]
+
+    def clear(self) -> None:
+        """Drop everything (the sequence counter keeps increasing)."""
+        self._records.clear()
+
+    def summary(self) -> dict[str, int]:
+        """Transmissions per category within the retained window."""
+        counts: dict[str, int] = {}
+        for record in self._records:
+            key = record.category.value
+            counts[key] = counts.get(key, 0) + record.hops
+        return counts

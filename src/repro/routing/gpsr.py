@@ -1,0 +1,315 @@
+"""Greedy Perimeter Stateless Routing (Karp & Kung, MobiCom 2000).
+
+The paper assumes GPSR as the routing substrate ("the underlying routing
+protocol in Pool is the existing greedy perimeter stateless routing
+algorithm", Section 2), as do DIM and GHT.  This module implements the
+full protocol:
+
+* **Greedy mode** — forward to the neighbor strictly closest to the
+  destination, when one is closer than the current node.
+* **Perimeter mode** — on a greedy dead end, traverse faces of the
+  planarized graph with the right-hand rule, changing faces where the
+  traversed edge crosses the ``Lf -> destination`` segment, and returning
+  to greedy as soon as a node closer than the entry point ``Lp`` is
+  reached.
+
+Every forwarding decision uses only the current node's neighbor table and
+the packet header (mode, destination, ``Lp``, ``Lf``), exactly like the
+real protocol; the router object merely plays all node roles in turn and
+records the traversed path so the accounting layer can count hops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.exceptions import ConfigurationError, DeliveryError, RoutingError
+from repro.geometry import (
+    Point,
+    angle_of,
+    ccw_angle_from,
+    distance_sq,
+    segment_intersection_point,
+)
+from repro.network.topology import Topology
+from repro.routing.planarization import PlanarizationKind, planarize
+
+__all__ = ["GPSRRouter", "RouteResult"]
+
+_GREEDY: Literal["greedy"] = "greedy"
+_PERIMETER: Literal["perimeter"] = "perimeter"
+
+
+@dataclass(slots=True)
+class RouteResult:
+    """Outcome of routing one packet.
+
+    Attributes
+    ----------
+    path:
+        Node ids visited, starting with the source.  ``len(path) - 1`` is
+        the hop (message) count.
+    delivered:
+        Whether the packet reached its target node.
+    perimeter_hops:
+        How many hops were forwarded in perimeter mode (0 for pure greedy
+        delivery — the common case at the paper's density).
+    """
+
+    path: list[int]
+    delivered: bool
+    perimeter_hops: int = 0
+
+    @property
+    def hops(self) -> int:
+        """Number of one-hop transmissions used."""
+        return max(0, len(self.path) - 1)
+
+    @property
+    def greedy_only(self) -> bool:
+        """Whether greedy forwarding sufficed end to end."""
+        return self.perimeter_hops == 0
+
+
+@dataclass(slots=True)
+class _PacketState:
+    """The GPSR packet-header fields that drive forwarding decisions."""
+
+    dest: Point
+    mode: str = _GREEDY
+    entry: Point | None = None  # Lp: location where perimeter mode started
+    face_point: Point | None = None  # Lf: where the packet entered this face
+    traversed: set[tuple[int, int]] = field(default_factory=set)
+
+
+class GPSRRouter:
+    """Stateless geographic router over a fixed :class:`Topology`.
+
+    Parameters
+    ----------
+    topology:
+        The physical network.
+    planarization:
+        Which planar subgraph perimeter mode uses (``"gabriel"`` is GPSR's
+        default; ``"rng"`` is sparser; ``"none"`` disables planarization
+        and is only safe on graphs that are already planar).
+    ttl_factor:
+        Packets are dropped (``DeliveryError``) after
+        ``ttl_factor * n + 16`` hops — a safety net against pathological
+        perimeter loops on disconnected graphs.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        planarization: PlanarizationKind = "gabriel",
+        ttl_factor: int = 4,
+    ) -> None:
+        if ttl_factor < 1:
+            raise ConfigurationError(f"ttl_factor must be >= 1, got {ttl_factor}")
+        self.topology = topology
+        self.planarization_kind = planarization
+        self.ttl = ttl_factor * topology.size + 16
+        self._planar: list[tuple[int, ...]] | None = None
+        self._path_cache: dict[tuple[int, int], list[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API                                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def planar_adjacency(self) -> list[tuple[int, ...]]:
+        """Planarized neighbor lists (built lazily on first perimeter use)."""
+        if self._planar is None:
+            self._planar = planarize(self.topology, self.planarization_kind)
+        return self._planar
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """Node path from ``src`` to ``dst``; raises on delivery failure.
+
+        Paths are deterministic for a fixed topology, so they are memoized;
+        the multicast tree builder leans on this for prefix sharing.
+        """
+        if src == dst:
+            return [src]
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.route(src, dst)
+        if not result.delivered:
+            raise DeliveryError(
+                f"GPSR could not deliver {src} -> {dst}", result.path
+            )
+        self._path_cache[key] = result.path
+        return result.path
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count of :meth:`path`."""
+        return len(self.path(src, dst)) - 1
+
+    def path_to_point(self, src: int, point: tuple[float, float]) -> list[int]:
+        """Route toward a geographic location; ends at its closest node.
+
+        This is the location-addressed delivery primitive used by GHT and
+        by Pool's "route the event to (a, b)" (Algorithm 1, step 6): the
+        home node of a location is the network node closest to it.
+        """
+        target = self.topology.closest_node(point)
+        return self.path(src, target)
+
+    def route(self, src: int, dst: int) -> RouteResult:
+        """Run the GPSR forwarding loop from ``src`` to node ``dst``."""
+        self._validate_node(src)
+        self._validate_node(dst)
+        if src == dst:
+            return RouteResult([src], delivered=True)
+        positions = self.topology.positions
+        state = _PacketState(dest=self.topology.position(dst))
+        path = [src]
+        current = src
+        previous: int | None = None
+        perimeter_hops = 0
+        for _ in range(self.ttl):
+            if current == dst:
+                return RouteResult(path, delivered=True, perimeter_hops=perimeter_hops)
+            if state.mode == _GREEDY:
+                nxt = self._greedy_next(current, state.dest)
+                if nxt is None:
+                    self._enter_perimeter(state, current)
+                    nxt = self._perimeter_first_edge(current, state)
+                    if nxt is None:
+                        return RouteResult(path, delivered=False)
+            else:
+                here = Point(*positions[current])
+                assert state.entry is not None
+                if distance_sq(here, state.dest) < distance_sq(
+                    state.entry, state.dest
+                ):
+                    # Progress past the dead-end point: back to greedy.
+                    state.mode = _GREEDY
+                    state.traversed.clear()
+                    continue
+                assert previous is not None
+                nxt = self._perimeter_next(current, previous, state)
+                if nxt is None:
+                    return RouteResult(path, delivered=False)
+            if state.mode == _PERIMETER:
+                edge = (current, nxt)
+                if edge in state.traversed:
+                    # Completed a full face walk without progress: the
+                    # destination is unreachable from here.
+                    return RouteResult(path, delivered=False)
+                state.traversed.add(edge)
+                perimeter_hops += 1
+            previous, current = current, nxt
+            path.append(current)
+        raise DeliveryError(
+            f"TTL ({self.ttl}) exceeded routing {src} -> {dst}", path
+        )
+
+    def greedy_success_ratio(self, samples: list[tuple[int, int]]) -> float:
+        """Fraction of ``(src, dst)`` pairs delivered without perimeter mode.
+
+        Used by the routing-validation ablation experiment.
+        """
+        if not samples:
+            return 1.0
+        ok = sum(1 for s, d in samples if self.route(s, d).greedy_only)
+        return ok / len(samples)
+
+    # ------------------------------------------------------------------ #
+    # Forwarding rules                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _greedy_next(self, current: int, dest: Point) -> int | None:
+        """Neighbor strictly closer to ``dest``, or ``None`` on dead end."""
+        positions = self.topology.positions
+        best: int | None = None
+        best_d = distance_sq(positions[current], dest)
+        for neighbor in self.topology.neighbors(current):
+            d = distance_sq(positions[neighbor], dest)
+            if d < best_d:
+                best = neighbor
+                best_d = d
+        return best
+
+    def _enter_perimeter(self, state: _PacketState, current: int) -> None:
+        here = self.topology.position(current)
+        state.mode = _PERIMETER
+        state.entry = here
+        state.face_point = here
+        state.traversed.clear()
+
+    def _perimeter_first_edge(self, current: int, state: _PacketState) -> int | None:
+        """First edge counterclockwise about ``current`` from line to dest."""
+        reference = angle_of(self.topology.position(current), state.dest)
+        return self._rhr_neighbor(current, reference)
+
+    def _perimeter_next(
+        self, current: int, previous: int, state: _PacketState
+    ) -> int | None:
+        """Right-hand-rule successor with GPSR's face-change test."""
+        positions = self.topology.positions
+        here = Point(*positions[current])
+        reference = angle_of(here, positions[previous])
+        nxt = self._rhr_neighbor(current, reference)
+        if nxt is None:
+            return None
+        # Face change: while the chosen edge crosses Lf->D closer to D,
+        # advance Lf to the crossing and take the next edge ccw instead.
+        assert state.face_point is not None
+        for _ in range(len(self.planar_adjacency[current]) + 1):
+            crossing = segment_intersection_point(
+                here, Point(*positions[nxt]), state.face_point, state.dest
+            )
+            if crossing is None:
+                break
+            if distance_sq(crossing, state.dest) >= distance_sq(
+                state.face_point, state.dest
+            ) - 1e-12:
+                break
+            state.face_point = crossing
+            reference = angle_of(here, positions[nxt])
+            nxt = self._rhr_neighbor(current, reference)
+            if nxt is None:
+                return None
+        return nxt
+
+    def _rhr_neighbor(self, current: int, reference_angle: float) -> int | None:
+        """Planar neighbor with the smallest ccw sweep from ``reference``.
+
+        A sweep of exactly zero counts as a full turn, so the edge the
+        reference points along is considered last — this is what makes a
+        degree-one node bounce the packet straight back, as GPSR requires.
+        """
+        neighbors = self.planar_adjacency[current]
+        if not neighbors:
+            return None
+        here = self.topology.position(current)
+        positions = self.topology.positions
+        best: int | None = None
+        best_sweep = math.inf
+        for neighbor in neighbors:
+            sweep = ccw_angle_from(
+                reference_angle, angle_of(here, positions[neighbor])
+            )
+            if sweep < best_sweep:
+                best = neighbor
+                best_sweep = sweep
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Helpers                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _validate_node(self, node: int) -> None:
+        if not 0 <= node < self.topology.size:
+            raise RoutingError(
+                f"node id {node} outside topology of size {self.topology.size}"
+            )
+        if not self.topology.is_alive(node):
+            raise RoutingError(f"node {node} has failed and cannot route")

@@ -1,0 +1,157 @@
+"""Merged-prefix forwarding trees for query dissemination and replies.
+
+Section 3.2.3 of the paper: "the entire query forwarding paths form a
+tree, which enables the system to consume sensor energy more efficiently
+than by unicasting the query to index nodes individually", and replies
+aggregate on the way back.
+
+The tree is built by unioning the GPSR unicast paths from a root to each
+destination: a hop shared by several destinations carries the query only
+once.  GPSR paths are deterministic per topology, so nearby destinations
+share long prefixes and the tree is genuinely cheaper than independent
+unicasts.  DIM is given exactly the same machinery so the cost comparison
+is apples-to-apples (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.gpsr import GPSRRouter
+
+__all__ = ["MulticastTree", "TreeBuilder"]
+
+
+@dataclass(slots=True)
+class MulticastTree:
+    """An immutable dissemination tree rooted at ``root``.
+
+    ``edges`` are directed parent→child pairs; each edge carries the query
+    exactly once downstream (``forward_cost``) and one aggregated reply
+    upstream (``reply_cost``).
+    """
+
+    root: int
+    destinations: tuple[int, ...]
+    edges: frozenset[tuple[int, int]]
+
+    @property
+    def forward_cost(self) -> int:
+        """Transmissions to push the query to every destination."""
+        return len(self.edges)
+
+    @property
+    def reply_cost(self) -> int:
+        """Transmissions to aggregate every destination's reply to the root.
+
+        One reply message per tree edge: children's replies merge at branch
+        points (the paper's in-splitter aggregation).
+        """
+        return len(self.edges)
+
+    @property
+    def total_cost(self) -> int:
+        """The paper's query-processing cost for this tree."""
+        return self.forward_cost + self.reply_cost
+
+    def nodes(self) -> set[int]:
+        """All node ids touched by the tree (including the root)."""
+        touched = {self.root}
+        for parent, child in self.edges:
+            touched.add(parent)
+            touched.add(child)
+        return touched
+
+    def children(self) -> dict[int, list[int]]:
+        """Adjacency (parent → sorted children) for traversals/tests."""
+        table: dict[int, list[int]] = {}
+        for parent, child in self.edges:
+            table.setdefault(parent, []).append(child)
+        for kids in table.values():
+            kids.sort()
+        return table
+
+    def height(self) -> int:
+        """Hop depth of the deepest destination — the dissemination
+        latency critical path (in hops) of this tree."""
+        if not self.edges:
+            return 0
+        parents = {child: parent for parent, child in self.edges}
+        best = 0
+        for node in parents:
+            depth = 0
+            current = node
+            while current != self.root:
+                current = parents[current]
+                depth += 1
+            best = max(best, depth)
+        return best
+
+    def depth_of(self, node: int) -> int:
+        """Hop distance from the root to ``node`` along tree edges."""
+        if node == self.root:
+            return 0
+        parents = {child: parent for parent, child in self.edges}
+        depth = 0
+        current = node
+        while current != self.root:
+            current = parents[current]
+            depth += 1
+        return depth
+
+
+class TreeBuilder:
+    """Incrementally merge unicast paths into a :class:`MulticastTree`.
+
+    Usage::
+
+        builder = TreeBuilder(router, root=sink)
+        for index_node in relevant_nodes:
+            builder.add_destination(index_node)
+        tree = builder.build()
+    """
+
+    def __init__(self, router: GPSRRouter, root: int) -> None:
+        self.router = router
+        self.root = root
+        self._edges: set[tuple[int, int]] = set()
+        self._destinations: list[int] = []
+        self._reached: set[int] = {root}
+
+    def add_destination(self, node: int) -> None:
+        """Graft the GPSR path ``root -> node`` onto the tree.
+
+        The path is walked backward from the destination and grafting stops
+        at the first node already in the tree, so shared prefixes are never
+        re-added and the structure stays a tree (each node has one parent).
+        """
+        if node in self._reached:
+            if node not in self._destinations:
+                self._destinations.append(node)
+            return
+        path = self.router.path(self.root, node)
+        # Find the deepest path node already in the tree; splice from there.
+        splice_index = 0
+        for index, hop in enumerate(path):
+            if hop in self._reached:
+                splice_index = index
+        for parent, child in zip(path[splice_index:], path[splice_index + 1 :]):
+            if child in self._reached:
+                # The path re-enters the tree; keep the existing parent.
+                continue
+            self._edges.add((parent, child))
+            self._reached.add(child)
+        self._destinations.append(node)
+
+    def add_destinations(self, nodes: list[int]) -> None:
+        """Graft several destinations (deterministic order)."""
+        for node in nodes:
+            self.add_destination(node)
+
+    def build(self) -> MulticastTree:
+        """Freeze the current tree."""
+        return MulticastTree(
+            root=self.root,
+            destinations=tuple(self._destinations),
+            edges=frozenset(self._edges),
+        )

@@ -1,0 +1,176 @@
+"""Plain-text rendering of deployments, Pools, routes and query plans.
+
+Terminal-friendly diagnostics for interactive use and bug reports: render
+the field as a character grid where each character cell aggregates a
+block of the deployment, overlaying node density, Pool footprints, index
+nodes, GPSR paths and the cells a query touches.  No plotting
+dependencies — the output pastes into an issue tracker.
+
+Legend (later layers overwrite earlier ones):
+
+* ``.``   empty area, ``1``–``9`` node count in the block
+* ``a``/``b``/``c``… footprint of Pool 1/2/3…
+* ``A``/``B``/``C``… a *relevant* cell of that Pool for the given query
+* ``*``   a hop of a rendered route, ``S``/``D`` its endpoints
+* ``X``   a failed node
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.core.system import PoolSystem
+from repro.core.resolve import relevant_cells
+from repro.events.queries import RangeQuery
+from repro.exceptions import ConfigurationError
+from repro.network.topology import Topology
+
+__all__ = ["FieldCanvas", "render_topology", "render_pools", "render_route"]
+
+
+class FieldCanvas:
+    """A character raster over a topology's field.
+
+    Parameters
+    ----------
+    topology:
+        Supplies the field extent and node positions.
+    width:
+        Canvas width in characters; the height follows the field's aspect
+        ratio.  Rows print top-down (north up).
+    """
+
+    def __init__(self, topology: Topology, width: int = 60) -> None:
+        if width < 8:
+            raise ConfigurationError(f"canvas width must be >= 8, got {width}")
+        self.topology = topology
+        field = topology.field
+        self.width = width
+        self.height = max(4, round(width * field.height / field.width / 2))
+        # /2: terminal glyphs are ~twice as tall as wide.
+        self._cells: list[list[str]] = [
+            ["."] * width for _ in range(self.height)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Coordinate mapping                                                 #
+    # ------------------------------------------------------------------ #
+
+    def raster_of(self, point: tuple[float, float]) -> tuple[int, int]:
+        """(row, column) of a field coordinate, clamped to the canvas."""
+        field = self.topology.field
+        col = int((point[0] - field.x_min) / field.width * self.width)
+        row = int((point[1] - field.y_min) / field.height * self.height)
+        col = min(max(col, 0), self.width - 1)
+        row = min(max(row, 0), self.height - 1)
+        return (self.height - 1 - row, col)  # north up
+
+    def plot(self, point: tuple[float, float], glyph: str) -> None:
+        """Write one glyph at a field coordinate."""
+        row, col = self.raster_of(point)
+        self._cells[row][col] = glyph[0]
+
+    # ------------------------------------------------------------------ #
+    # Layers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def layer_density(self) -> "FieldCanvas":
+        """Node count per raster block (1-9, '+' for more)."""
+        counts: Counter[tuple[int, int]] = Counter()
+        for node in self.topology:
+            counts[self.raster_of(self.topology.position(node))] += 1
+        for (row, col), count in counts.items():
+            self._cells[row][col] = str(count) if count <= 9 else "+"
+        return self
+
+    def layer_failed(self) -> "FieldCanvas":
+        """Mark failed nodes with 'X'."""
+        for node in self.topology.excluded:
+            self.plot(self.topology.position(node), "X")
+        return self
+
+    def layer_pools(
+        self, system: PoolSystem, query: RangeQuery | None = None
+    ) -> "FieldCanvas":
+        """Pool footprints in lowercase; relevant cells uppercase."""
+        for layout in system.pools:
+            glyph = chr(ord("a") + (layout.index % 26))
+            for cell in layout.cells():
+                self.plot(system.grid.center(cell), glyph)
+            if query is not None:
+                for cell in relevant_cells(query, layout):
+                    self.plot(system.grid.center(cell), glyph.upper())
+        return self
+
+    def layer_route(self, path: Sequence[int]) -> "FieldCanvas":
+        """A node path: '*' hops with 'S'ource and 'D'estination."""
+        if not path:
+            return self
+        for node in path[1:-1]:
+            self.plot(self.topology.position(node), "*")
+        self.plot(self.topology.position(path[0]), "S")
+        if len(path) > 1:
+            self.plot(self.topology.position(path[-1]), "D")
+        return self
+
+    def layer_nodes(self, nodes: Sequence[int], glyph: str) -> "FieldCanvas":
+        """Mark arbitrary nodes (e.g. index nodes, splitters)."""
+        for node in nodes:
+            self.plot(self.topology.position(node), glyph)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Output                                                             #
+    # ------------------------------------------------------------------ #
+
+    def render(self, title: str = "") -> str:
+        """The canvas as a bordered multi-line string."""
+        border = "+" + "-" * self.width + "+"
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(border)
+        lines.extend("|" + "".join(row) + "|" for row in self._cells)
+        lines.append(border)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def render_topology(topology: Topology, width: int = 60) -> str:
+    """Node-density map of a deployment."""
+    return (
+        FieldCanvas(topology, width)
+        .layer_density()
+        .layer_failed()
+        .render(
+            f"{topology.alive_count} nodes, field "
+            f"{topology.field.width:.0f}x{topology.field.height:.0f} m"
+        )
+    )
+
+
+def render_pools(
+    system: PoolSystem, query: RangeQuery | None = None, width: int = 60
+) -> str:
+    """Pool footprints (and, optionally, a query's relevant cells)."""
+    title = "Pool layout" + (f" + relevant cells for {query}" if query else "")
+    return (
+        FieldCanvas(system.network.topology, width)
+        .layer_density()
+        .layer_pools(system, query)
+        .render(title)
+    )
+
+
+def render_route(topology: Topology, path: Sequence[int], width: int = 60) -> str:
+    """One GPSR path over the density map."""
+    title = f"route {path[0]} -> {path[-1]} ({len(path) - 1} hops)" if path else "route"
+    return (
+        FieldCanvas(topology, width)
+        .layer_density()
+        .layer_route(path)
+        .render(title)
+    )

@@ -1,0 +1,59 @@
+"""Tests for the special ablation runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import run_hotspot_ablation, run_routing_ablation
+
+
+class TestHotspotAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_hotspot_ablation(size=300, events_per_node=3, capacity=16, seed=1)
+
+    def test_reports_three_systems(self, table):
+        systems = [row[0] for row in table.rows]
+        assert systems == ["dim", "pool (no sharing)", "pool (sharing)"]
+
+    def test_sharing_reduces_max_load(self, table):
+        loads = {row[0]: int(row[1]) for row in table.rows}
+        assert loads["pool (sharing)"] < loads["pool (no sharing)"]
+
+    def test_sharing_costs_messages(self, table):
+        messages = {row[0]: int(row[4]) for row in table.rows}
+        assert messages["pool (sharing)"] > 0
+        assert messages["pool (no sharing)"] == 0
+        assert messages["dim"] == 0
+
+    def test_sharing_spreads_over_more_nodes(self, table):
+        holders = {row[0]: int(row[3]) for row in table.rows}
+        assert holders["pool (sharing)"] > holders["pool (no sharing)"]
+
+
+class TestRoutingAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_routing_ablation(
+            size=250, degrees=(10.0, 18.0), samples=60, seed=1
+        )
+
+    def test_one_row_per_density(self, table):
+        assert len(table.rows) == 2
+
+    def test_everything_delivered_at_paper_density(self, table):
+        delivered = table.rows[-1][2]  # densest row
+        done, total = delivered.split("/")
+        assert done == total
+
+    def test_greedy_ratio_improves_with_density(self, table):
+        def ratio(cell: str) -> float:
+            num, den = cell.split("/")
+            return int(num) / int(den)
+
+        sparse, dense = (ratio(row[3]) for row in table.rows)
+        assert dense >= sparse
+
+    def test_stretch_at_least_one(self, table):
+        for row in table.rows:
+            assert float(row[4]) >= 1.0

@@ -1,0 +1,63 @@
+"""Tests for the pool-bench CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6a"])
+        assert args.experiment == "fig6a"
+        assert args.seed == 0
+        assert args.scale == 1.0
+        assert args.json is None
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["fig7b", "--seed", "3", "--scale", "0.2", "--trials", "1",
+             "--json", "out.json", "--quiet"]
+        )
+        assert args.seed == 3
+        assert args.scale == 0.2
+        assert args.trials == 1
+        assert args.json == "out.json"
+        assert args.quiet
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig6a", "fig6b", "fig7a", "fig7b", "abl-hotspot"):
+            assert name in out
+
+    def test_scaled_run_prints_tables(self, capsys):
+        code = main(["fig7a", "--scale", "0.1", "--trials", "1", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "msgs/query" in out
+        assert "ratio" in out
+        assert "paper claim" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        main(["fig7a", "--scale", "0.1", "--trials", "1", "--quiet",
+              "--json", str(path)])
+        payload = json.loads(path.read_text())
+        assert payload[0]["name"] == "fig7a"
+        assert payload[0]["rows"]
+
+    def test_unknown_experiment_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["not-an-experiment", "--quiet"])
+
+    def test_routing_ablation_entry(self, capsys):
+        assert main(["abl-routing"]) == 0
+        assert "stretch" in capsys.readouterr().out

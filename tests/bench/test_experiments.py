@@ -1,0 +1,69 @@
+"""Tests for the experiment registry (every figure must be covered)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, get_experiment
+from repro.bench.workloads import PAPER_NETWORK_SIZES
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_every_simulation_figure_present(self):
+        assert {"fig6a", "fig6b", "fig7a", "fig7b"} <= set(EXPERIMENTS)
+
+    def test_ablations_present(self):
+        assert {"abl-insert", "abl-splitter", "abl-skew", "abl-l"} <= set(
+            EXPERIMENTS
+        )
+
+    def test_get_experiment(self):
+        assert get_experiment("fig6a").name == "fig6a"
+
+    def test_get_unknown_raises_with_listing(self):
+        with pytest.raises(ConfigurationError, match="fig6a"):
+            get_experiment("nope")
+
+    def test_names_match_keys(self):
+        for name, config in EXPERIMENTS.items():
+            assert config.name == name
+            assert config.title
+            assert config.paper_claim
+
+
+class TestFigureParameters:
+    def test_fig6_sweeps_paper_sizes(self):
+        for name in ("fig6a", "fig6b"):
+            assert get_experiment(name).network_sizes == PAPER_NETWORK_SIZES
+
+    def test_fig6_range_distributions(self):
+        assert get_experiment("fig6a").query_workloads[0].range_sizes == "uniform"
+        assert (
+            get_experiment("fig6b").query_workloads[0].range_sizes
+            == "exponential"
+        )
+
+    def test_fig7_fixed_at_900(self):
+        for name in ("fig7a", "fig7b"):
+            assert get_experiment(name).network_sizes == (900,)
+
+    def test_fig7a_partial_degrees(self):
+        workloads = get_experiment("fig7a").query_workloads
+        assert [w.unspecified for w in workloads] == [1, 2]
+
+    def test_fig7b_one_at_n(self):
+        workloads = get_experiment("fig7b").query_workloads
+        assert [w.unspecified for w in workloads] == [(0,), (1,), (2,)]
+        assert [w.describe() for w in workloads] == [
+            "1@1-partial", "1@2-partial", "1@3-partial"
+        ]
+
+    def test_all_compare_pool_against_dim(self):
+        for name in ("fig6a", "fig6b", "fig7a", "fig7b"):
+            assert get_experiment(name).systems == ("pool", "dim")
+
+    def test_abl_l_sweeps_side_lengths(self):
+        assert get_experiment("abl-l").systems == (
+            "pool-l5", "pool-l10", "pool-l15", "pool-l20"
+        )

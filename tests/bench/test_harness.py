@@ -1,0 +1,123 @@
+"""Tests for the experiment runner and the system registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_system, run_experiment
+from repro.bench.workloads import ExperimentConfig
+from repro.core.system import PoolSystem
+from repro.dim.index import DimIndex
+from repro.events.generators import QueryWorkload
+from repro.exceptions import ConfigurationError
+from repro.network.network import Network
+
+
+def _tiny_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        name="tiny",
+        title="tiny experiment",
+        paper_claim="testing only",
+        network_sizes=(120,),
+        query_workloads=(
+            QueryWorkload(dimensions=3, kind="exact", range_sizes="exponential"),
+        ),
+        query_count=6,
+        trials=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestBuildSystem:
+    def test_pool(self, net300):
+        system = build_system("pool", net300, _tiny_config(), seed=0)
+        assert isinstance(system, PoolSystem)
+        assert system.side_length == 10
+        assert system.route_via_splitter
+
+    def test_dim(self, net300):
+        assert isinstance(build_system("dim", net300, _tiny_config(), 0), DimIndex)
+
+    def test_pool_direct(self, net300):
+        system = build_system("pool-direct", net300, _tiny_config(), 0)
+        assert isinstance(system, PoolSystem)
+        assert not system.route_via_splitter
+
+    def test_pool_side_length_override(self, net300):
+        system = build_system("pool-l5", net300, _tiny_config(), 0)
+        assert system.side_length == 5
+
+    def test_pool_sharing_from_config(self, net300):
+        config = _tiny_config(sharing_capacity=16)
+        system = build_system("pool", net300, config, 0)
+        assert system.sharing.enabled and system.sharing.capacity == 16
+
+    def test_unknown_names_rejected(self, net300):
+        for bad in ("ght", "pool-lx", "pool-unknown"):
+            with pytest.raises(ConfigurationError):
+                build_system(bad, net300, _tiny_config(), 0)
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(_tiny_config(), seed=0)
+
+    def test_row_grid_complete(self, result):
+        # one row per (size, workload, system)
+        assert len(result.rows) == 1 * 1 * 2
+        assert {row.system for row in result.rows} == {"pool", "dim"}
+
+    def test_queries_counted(self, result):
+        for row in result.rows:
+            assert row.queries == 6 * 2  # query_count * trials
+
+    def test_costs_are_sane(self, result):
+        for row in result.rows:
+            assert row.mean_cost >= 0
+            assert row.mean_cost == pytest.approx(
+                row.mean_forward + row.mean_reply
+            )
+            assert row.std_cost >= 0
+            assert row.mean_insert_hops > 0
+
+    def test_systems_agree_on_matches(self, result):
+        pool_row = result.cell("pool", 120, result.rows[0].workload)
+        dim_row = result.cell("dim", 120, result.rows[0].workload)
+        assert pool_row.mean_matches == pytest.approx(dim_row.mean_matches)
+
+    def test_deterministic_for_seed(self):
+        a = run_experiment(_tiny_config(), seed=3)
+        b = run_experiment(_tiny_config(), seed=3)
+        assert [r.as_dict() for r in a.rows] == [r.as_dict() for r in b.rows]
+
+    def test_different_seed_differs(self):
+        a = run_experiment(_tiny_config(), seed=3)
+        b = run_experiment(_tiny_config(), seed=4)
+        assert [r.mean_cost for r in a.rows] != [r.mean_cost for r in b.rows]
+
+    def test_progress_callback_invoked(self):
+        lines: list[str] = []
+        run_experiment(_tiny_config(trials=1), seed=0, progress=lines.append)
+        assert len(lines) == 2  # one per (size, trial, system)
+        assert all("tiny" in line for line in lines)
+
+    def test_series_accessor(self, result):
+        series = result.series("pool")
+        assert series == [(120, result.cell("pool", 120, result.rows[0].workload).mean_cost)]
+
+    def test_by_workload_accessor(self, result):
+        label = result.rows[0].workload
+        assert result.by_workload("dim", 120) == [
+            (label, result.cell("dim", 120, label).mean_cost)
+        ]
+
+    def test_cell_missing_raises(self, result):
+        with pytest.raises(KeyError):
+            result.cell("pool", 999, "nope")
+
+    def test_as_dict_roundtrip(self, result):
+        payload = result.as_dict()
+        assert payload["name"] == "tiny"
+        assert len(payload["rows"]) == len(result.rows)

@@ -1,0 +1,83 @@
+"""Tests for table rendering and JSON export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import ExperimentResult, ResultRow
+from repro.bench.reporting import (
+    Table,
+    ratio_table,
+    render_result,
+    result_table,
+    to_json,
+)
+
+
+def _row(system: str, size: int = 300, cost: float = 50.0) -> ResultRow:
+    return ResultRow(
+        size=size,
+        workload="exact/uniform",
+        system=system,
+        trials=1,
+        queries=10,
+        mean_cost=cost,
+        std_cost=1.0,
+        mean_forward=cost / 2,
+        mean_reply=cost / 2,
+        mean_matches=4.0,
+        mean_insert_hops=6.0,
+        mean_visited_nodes=8.0,
+    )
+
+
+def _result() -> ExperimentResult:
+    return ExperimentResult(
+        name="figX",
+        title="Figure X",
+        paper_claim="pool wins",
+        rows=[_row("pool", cost=50.0), _row("dim", cost=150.0)],
+    )
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(title="T", headers=["a", "bb"])
+        table.add(1, "x")
+        table.add(100, "yyyy")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[2:]}) == 1  # equal widths
+
+    def test_float_formatting(self):
+        table = Table(title="T", headers=["v"])
+        table.add(3.14159)
+        assert "3.1" in table.render()
+
+
+class TestResultTable:
+    def test_contains_all_rows(self):
+        table = result_table(_result())
+        assert len(table.rows) == 2
+        text = table.render()
+        assert "pool" in text and "dim" in text
+
+    def test_ratio_table(self):
+        table = ratio_table(_result())
+        assert table is not None
+        assert any("3.00x" in cell for row in table.rows for cell in row)
+
+    def test_ratio_table_missing_system(self):
+        result = ExperimentResult("x", "X", "", rows=[_row("pool")])
+        assert ratio_table(result) is None
+
+    def test_render_result_includes_claim(self):
+        text = render_result(_result())
+        assert "pool wins" in text
+        assert "ratio" in text
+
+    def test_to_json(self):
+        payload = json.loads(to_json([_result()]))
+        assert payload[0]["name"] == "figX"
+        assert payload[0]["rows"][0]["system"] == "pool"

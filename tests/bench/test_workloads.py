@@ -1,0 +1,72 @@
+"""Tests for experiment configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import PAPER_NETWORK_SIZES, ExperimentConfig
+from repro.events.generators import QueryWorkload
+from repro.exceptions import ConfigurationError
+
+
+def _config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        name="test",
+        title="test experiment",
+        network_sizes=(100, 200),
+        query_workloads=(QueryWorkload(dimensions=3),),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestExperimentConfig:
+    def test_paper_sweep(self):
+        assert PAPER_NETWORK_SIZES == (
+            300, 600, 900, 1200, 1500, 1800, 2100, 2400, 2700, 3000
+        )
+
+    def test_defaults_match_paper_section_51(self):
+        config = _config()
+        assert config.radio_range == 40.0
+        assert config.target_degree == 20.0
+        assert config.cell_size == 5.0
+        assert config.side_length == 10
+        assert config.events_per_node == 3
+        assert config.dimensions == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _config(network_sizes=())
+        with pytest.raises(ConfigurationError):
+            _config(query_workloads=())
+        with pytest.raises(ConfigurationError):
+            _config(systems=())
+        with pytest.raises(ConfigurationError):
+            _config(trials=0)
+        with pytest.raises(ConfigurationError):
+            _config(events_per_node=-1)
+
+    def test_scaled_shrinks_work(self):
+        config = _config(network_sizes=(1000, 2000), query_count=60, trials=3)
+        scaled = config.scaled(0.5)
+        assert scaled.network_sizes == (500, 1000)
+        assert scaled.query_count == 30
+        assert scaled.trials == 1
+
+    def test_scaled_floors(self):
+        scaled = _config(query_count=60, trials=3).scaled(0.01)
+        assert min(scaled.network_sizes) >= 100
+        assert scaled.query_count >= 5
+        assert scaled.trials >= 1
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            _config().scaled(0.0)
+        with pytest.raises(ConfigurationError):
+            _config().scaled(1.5)
+
+    def test_frozen(self):
+        config = _config()
+        with pytest.raises(AttributeError):
+            config.name = "other"  # type: ignore[misc]

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (deployed topologies) are session-scoped and treated
+as immutable; anything carrying mutable state (``Network`` accounting,
+storage systems) is function-scoped and built fresh per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.network import Network
+from repro.network.topology import Topology, deploy_grid, deploy_uniform
+
+
+@pytest.fixture(scope="session")
+def topo300() -> Topology:
+    """A 300-node paper-style deployment (read-only)."""
+    return deploy_uniform(300, seed=1)
+
+
+@pytest.fixture(scope="session")
+def topo600() -> Topology:
+    """A 600-node paper-style deployment (read-only)."""
+    return deploy_uniform(600, seed=2)
+
+
+@pytest.fixture(scope="session")
+def grid_topo() -> Topology:
+    """A deterministic 10x10 grid deployment for routing tests."""
+    return deploy_grid(10, 10, spacing=10.0)
+
+
+@pytest.fixture
+def net300(topo300: Topology) -> Network:
+    """A fresh accounting domain over the shared 300-node topology."""
+    return Network(topo300)
+
+
+@pytest.fixture
+def net_grid(grid_topo: Topology) -> Network:
+    """A fresh accounting domain over the grid topology."""
+    return Network(grid_topo)

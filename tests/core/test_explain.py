@@ -1,0 +1,66 @@
+"""Tests for the query-plan explainer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import PoolSystem
+from repro.events.generators import generate_events
+from repro.events.queries import RangeQuery
+from repro.exceptions import DimensionMismatchError
+from repro.network.network import Network
+
+FIG4 = RangeQuery.of((0.2, 0.3), (0.25, 0.35), (0.21, 0.24))
+
+
+@pytest.fixture
+def pool(topo300):
+    system = PoolSystem(Network(topo300), 3, seed=1)
+    for event in generate_events(300, 3, seed=2, sources=list(topo300)):
+        system.insert(event)
+    return system
+
+
+class TestExplain:
+    def test_costs_nothing(self, pool):
+        before = pool.network.stats.total
+        pool.explain(0, FIG4)
+        assert pool.network.stats.total == before
+
+    def test_mentions_every_pool(self, pool):
+        text = pool.explain(0, FIG4)
+        for label in ("P1", "P2", "P3"):
+            assert label in text
+
+    def test_pruned_pool_marked(self, pool):
+        text = pool.explain(0, FIG4)
+        assert "pruned" in text  # P3 is empty for the Figure 4 query
+
+    def test_lists_relevant_cells_and_splitters(self, pool):
+        text = pool.explain(0, RangeQuery.partial(3, {2: (0.8, 0.84)}))
+        assert "splitter: node" in text
+        assert "HO=" in text and "VO=" in text
+
+    def test_shows_holders_with_counts(self, pool):
+        text = pool.explain(0, RangeQuery.partial(3, {0: (0.5, 1.0)}))
+        assert " x" in text  # at least one populated segment "node N xK"
+
+    def test_stable_for_fixed_inputs(self, pool):
+        assert pool.explain(0, FIG4) == pool.explain(0, FIG4)
+
+    def test_plan_matches_execution(self, pool):
+        """Every holder named in the plan is visited by the execution."""
+        query = RangeQuery.partial(3, {0: (0.6, 0.9)})
+        text = pool.explain(0, query)
+        result = pool.query(0, query)
+        import re
+
+        planned = {
+            int(match)
+            for match in re.findall(r"node (\d+)", text.split("splitter", 1)[-1])
+        }
+        assert set(result.visited_nodes) <= planned
+
+    def test_dimension_mismatch(self, pool):
+        with pytest.raises(DimensionMismatchError):
+            pool.explain(0, RangeQuery.of((0.0, 1.0)))

@@ -1,0 +1,92 @@
+"""Tests for the grid-cell view of the field."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.grid import Cell, Grid
+from repro.exceptions import ConfigurationError
+from repro.geometry import Rect
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0, 0, 100, 50), cell_size=5.0)
+
+
+class TestGrid:
+    def test_dimensions(self, grid):
+        assert grid.columns == 20
+        assert grid.rows == 10
+        assert grid.cell_count == 200
+
+    def test_ragged_field_rounds_up(self):
+        grid = Grid(Rect(0, 0, 101, 49), cell_size=5.0)
+        assert grid.columns == 21
+        assert grid.rows == 10
+
+    def test_origin_cell(self, grid):
+        assert grid.cell_of((0.0, 0.0)) == Cell(0, 0)
+        assert grid.cell_of((4.99, 4.99)) == Cell(0, 0)
+        assert grid.cell_of((5.0, 0.0)) == Cell(1, 0)
+
+    def test_paper_formula(self):
+        # x = floor((a - x_orig) / alpha), y = floor((b - y_orig) / alpha).
+        grid = Grid(Rect(10, 20, 110, 120), cell_size=5.0)
+        assert grid.cell_of((23.0, 41.0)) == Cell(2, 4)
+
+    def test_clamping_outside_field(self, grid):
+        assert grid.cell_of((-3.0, -3.0)) == Cell(0, 0)
+        assert grid.cell_of((999.0, 999.0)) == Cell(19, 9)
+
+    def test_center_roundtrip(self, grid):
+        for cell in (Cell(0, 0), Cell(7, 3), Cell(19, 9)):
+            assert grid.cell_of(grid.center(cell)) == cell
+
+    def test_center_value(self, grid):
+        assert tuple(grid.center(Cell(0, 0))) == (2.5, 2.5)
+        assert tuple(grid.center(Cell(2, 1))) == (12.5, 7.5)
+
+    def test_rect(self, grid):
+        rect = grid.rect(Cell(1, 1))
+        assert rect == Rect(5.0, 5.0, 10.0, 10.0)
+
+    def test_contains(self, grid):
+        assert grid.contains(Cell(0, 0))
+        assert grid.contains(Cell(19, 9))
+        assert not grid.contains(Cell(20, 0))
+        assert not grid.contains(Cell(0, -1))
+
+    def test_cells_iteration(self, grid):
+        cells = list(grid.cells())
+        assert len(cells) == 200
+        assert cells[0] == Cell(0, 0)
+        assert cells[-1] == Cell(19, 9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Grid(Rect(0, 0, 10, 10), cell_size=0)
+        with pytest.raises(ConfigurationError):
+            Grid(Rect(0, 0, 0, 10), cell_size=1)
+
+    @given(
+        st.floats(min_value=0, max_value=99.99, allow_nan=False),
+        st.floats(min_value=0, max_value=49.99, allow_nan=False),
+    )
+    def test_every_point_maps_inside(self, x, y):
+        grid = Grid(Rect(0, 0, 100, 50), cell_size=5.0)
+        cell = grid.cell_of((x, y))
+        assert grid.contains(cell)
+        rect = grid.rect(cell)
+        assert rect.x_min <= x < rect.x_max + 1e-9
+        assert rect.y_min <= y < rect.y_max + 1e-9
+
+
+class TestCell:
+    def test_offset(self):
+        assert Cell(1, 2).offset(3, 4) == Cell(4, 6)
+
+    def test_repr(self):
+        assert repr(Cell(2, 5)) == "C(2,5)"

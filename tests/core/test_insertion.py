@@ -1,0 +1,96 @@
+"""Tests for Theorem 3.1 / Algorithm 1 placement and the §4.1 tie rule."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.insertion import Placement, candidate_placements, placement_for
+from repro.core.ranges import cell_value_ranges
+from repro.events.event import Event
+from repro.exceptions import ConfigurationError
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+events = st.lists(unit, min_size=1, max_size=5).map(lambda v: Event(tuple(v)))
+sides = st.integers(min_value=1, max_value=20)
+
+
+class TestPaperExamples:
+    def test_section_312_example(self):
+        """E = <0.4, 0.3, 0.1> with l=5 is stored in P1 at (HO=2, VO=2) —
+        the cell the paper names C(3,4) given pivot C(1,2)."""
+        placement = placement_for(Event.of(0.4, 0.3, 0.1), side_length=5)
+        assert placement == Placement(pool=0, ho=2, vo=2)
+
+    def test_pool_choice_follows_greatest_dimension(self):
+        assert placement_for(Event.of(0.1, 0.9, 0.5), 10).pool == 1
+        assert placement_for(Event.of(0.1, 0.2, 0.95), 10).pool == 2
+
+    def test_section_41_tie_example(self):
+        """E = <0.4, 0.4, 0.2> may be stored in P1 or P2 (same offsets)."""
+        candidates = candidate_placements(Event.of(0.4, 0.4, 0.2), 10)
+        assert {c.pool for c in candidates} == {0, 1}
+        offsets = {(c.ho, c.vo) for c in candidates}
+        assert len(offsets) == 1  # same (HO, VO) in every tied pool
+
+
+class TestTheorem31:
+    @given(events, sides)
+    def test_offsets_in_range(self, event, side):
+        placement = placement_for(event, side)
+        assert 0 <= placement.ho < side
+        assert 0 <= placement.vo < side
+        assert 0 <= placement.pool < event.dimensions
+
+    @given(events, sides)
+    def test_values_inside_cell_ranges(self, event, side):
+        """The containment that makes query resolving sound: the greatest
+        value lies in the cell's horizontal range and the second-greatest
+        in its vertical range (boundaries closed at the top)."""
+        placement = placement_for(event, side)
+        (h_lo, h_hi), (v_lo, v_hi) = cell_value_ranges(
+            placement.ho, placement.vo, side
+        )
+        assert h_lo <= event.greatest_value <= h_hi
+        assert v_lo <= event.second_greatest_value <= v_hi
+
+    @given(events, sides)
+    def test_deterministic(self, event, side):
+        assert placement_for(event, side) == placement_for(event, side)
+
+    def test_boundary_event_all_ones(self):
+        placement = placement_for(Event.of(1.0, 1.0, 1.0), 10)
+        assert (placement.ho, placement.vo) == (9, 9)
+
+    def test_boundary_event_all_zeros(self):
+        placement = placement_for(Event.of(0.0, 0.0, 0.0), 10)
+        assert (placement.ho, placement.vo) == (0, 0)
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ConfigurationError):
+            placement_for(Event.of(0.5), 0)
+
+
+class TestCandidatePlacements:
+    @given(events, sides)
+    def test_canonical_is_a_candidate(self, event, side):
+        candidates = candidate_placements(event, side)
+        assert placement_for(event, side) in candidates
+
+    @given(events, sides)
+    def test_one_candidate_per_tied_dimension(self, event, side):
+        candidates = candidate_placements(event, side)
+        assert len(candidates) == len(event.greatest_dimensions())
+        assert {c.pool for c in candidates} == set(event.greatest_dimensions())
+
+    def test_unique_maximum_single_candidate(self):
+        assert len(candidate_placements(Event.of(0.9, 0.1, 0.2), 10)) == 1
+
+    def test_three_way_tie(self):
+        candidates = candidate_placements(Event.of(0.5, 0.5, 0.5), 10)
+        assert {c.pool for c in candidates} == {0, 1, 2}
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ConfigurationError):
+            candidate_placements(Event.of(0.5), -1)

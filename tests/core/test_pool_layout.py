@@ -1,0 +1,119 @@
+"""Tests for Pool layouts and pivot placement (paper Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grid import Cell, Grid
+from repro.core.pool import PoolLayout, choose_pivots
+from repro.exceptions import ConfigurationError
+from repro.geometry import Rect
+
+
+@pytest.fixture
+def figure2_pools():
+    """The paper's Figure 2: k=3, l=5, pivots C(1,2), C(2,10), C(7,3)."""
+    return [
+        PoolLayout(0, Cell(1, 2), 5),
+        PoolLayout(1, Cell(2, 10), 5),
+        PoolLayout(2, Cell(7, 3), 5),
+    ]
+
+
+class TestLayout:
+    def test_cell_at_pivot(self, figure2_pools):
+        assert figure2_pools[0].cell_at(0, 0) == Cell(1, 2)
+
+    def test_cell_at_offsets(self, figure2_pools):
+        # HO=1, VO=3 from pivot C(1,2) is C(2,5) — the Figure 4 cell.
+        assert figure2_pools[0].cell_at(1, 3) == Cell(2, 5)
+
+    def test_cell_at_bounds(self, figure2_pools):
+        with pytest.raises(ConfigurationError):
+            figure2_pools[0].cell_at(5, 0)
+        with pytest.raises(ConfigurationError):
+            figure2_pools[0].cell_at(0, -1)
+
+    def test_offsets_of_definition_21(self, figure2_pools):
+        # Definition 2.1: HO = z - x, VO = w - y.
+        pool = figure2_pools[1]  # pivot C(2,10)
+        assert pool.offsets_of(Cell(3, 12)) == (1, 2)
+        assert pool.offsets_of(Cell(2, 10)) == (0, 0)
+        assert pool.offsets_of(Cell(6, 14)) == (4, 4)
+
+    def test_offsets_of_outside(self, figure2_pools):
+        pool = figure2_pools[0]
+        assert pool.offsets_of(Cell(0, 0)) is None
+        assert pool.offsets_of(Cell(6, 2)) is None  # just past the edge
+
+    def test_contains(self, figure2_pools):
+        pool = figure2_pools[0]
+        assert Cell(1, 2) in pool
+        assert Cell(5, 6) in pool
+        assert Cell(6, 6) not in pool
+
+    def test_cells_enumeration(self, figure2_pools):
+        pool = figure2_pools[0]
+        cells = list(pool.cells())
+        assert len(cells) == 25 == pool.cell_count
+        assert len(set(cells)) == 25
+        assert all(cell in pool for cell in cells)
+
+    def test_offset_roundtrip(self, figure2_pools):
+        pool = figure2_pools[2]
+        for ho in range(5):
+            for vo in range(5):
+                assert pool.offsets_of(pool.cell_at(ho, vo)) == (ho, vo)
+
+    def test_overlaps(self):
+        a = PoolLayout(0, Cell(0, 0), 5)
+        assert a.overlaps(PoolLayout(1, Cell(4, 4), 5))
+        assert a.overlaps(PoolLayout(1, Cell(0, 0), 5))
+        assert not a.overlaps(PoolLayout(1, Cell(5, 0), 5))
+        assert not a.overlaps(PoolLayout(1, Cell(0, 5), 5))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PoolLayout(0, Cell(0, 0), 0)
+        with pytest.raises(ConfigurationError):
+            PoolLayout(-1, Cell(0, 0), 5)
+
+
+class TestChoosePivots:
+    def test_pools_fit_grid(self):
+        grid = Grid(Rect(0, 0, 200, 200), cell_size=5.0)  # 40x40 cells
+        pivots = choose_pivots(grid, pools=3, side_length=10, seed=1)
+        assert len(pivots) == 3
+        for pivot in pivots:
+            assert grid.contains(pivot)
+            assert grid.contains(Cell(pivot.x + 9, pivot.y + 9))
+
+    def test_deterministic(self):
+        grid = Grid(Rect(0, 0, 200, 200), cell_size=5.0)
+        assert choose_pivots(grid, 3, 10, seed=5) == choose_pivots(
+            grid, 3, 10, seed=5
+        )
+
+    def test_disjoint_when_room(self):
+        grid = Grid(Rect(0, 0, 500, 500), cell_size=5.0)  # 100x100 cells
+        pivots = choose_pivots(grid, 3, 10, seed=2)
+        layouts = [PoolLayout(i, p, 10) for i, p in enumerate(pivots)]
+        for i, a in enumerate(layouts):
+            for b in layouts[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_overlap_allowed_when_cramped(self):
+        # 3 pools of 10x10 in a 10x10 grid can only overlap.
+        grid = Grid(Rect(0, 0, 50, 50), cell_size=5.0)
+        pivots = choose_pivots(grid, 3, 10, seed=3)
+        assert pivots == [Cell(0, 0)] * 3
+
+    def test_rejects_oversized_pool(self):
+        grid = Grid(Rect(0, 0, 40, 40), cell_size=5.0)  # 8x8 cells
+        with pytest.raises(ConfigurationError):
+            choose_pivots(grid, 3, 10)
+
+    def test_rejects_zero_pools(self):
+        grid = Grid(Rect(0, 0, 200, 200), cell_size=5.0)
+        with pytest.raises(ConfigurationError):
+            choose_pivots(grid, 0, 10)

@@ -1,0 +1,104 @@
+"""Event-driven Pool queries must match the synchronous accounting exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import run_query_on_simulator
+from repro.core.system import PoolSystem
+from repro.events.generators import (
+    exact_match_queries,
+    generate_events,
+    partial_match_queries,
+)
+from repro.events.queries import RangeQuery
+from repro.exceptions import DimensionMismatchError, QueryError
+from repro.network.network import Network
+from repro.network.simulator import Simulator
+from repro.network.topology import deploy_uniform
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology = deploy_uniform(350, seed=23)
+    network = Network(topology)
+    system = PoolSystem(network, 3, seed=23)
+    events = generate_events(1050, 3, seed=24, sources=list(topology))
+    for event in events:
+        system.insert(event)
+    simulator = Simulator(topology, hop_latency=0.01)
+    return system, simulator, events
+
+
+class TestEquivalence:
+    def test_same_events_and_costs_exact_match(self, world):
+        system, simulator, _ = world
+        sink = system.network.closest_node(system.network.topology.field.center)
+        for query in exact_match_queries(12, 3, seed=25):
+            system.network.reset_stats()
+            sync = system.query(sink, query)
+            run = run_query_on_simulator(system, simulator, sink, query)
+            assert sorted(e.values for e in run.events) == sorted(
+                e.values for e in sync.events
+            )
+            assert run.forward_cost == sync.forward_cost, repr(query)
+            assert run.reply_cost == sync.reply_cost, repr(query)
+
+    def test_same_events_and_costs_partial_match(self, world):
+        system, simulator, _ = world
+        sink = 0
+        for query in partial_match_queries(10, 3, unspecified=1, seed=26):
+            system.network.reset_stats()
+            sync = system.query(sink, query)
+            run = run_query_on_simulator(system, simulator, sink, query)
+            assert run.total_cost == sync.total_cost, repr(query)
+            assert len(run.events) == sync.match_count
+
+    def test_results_correct_vs_brute_force(self, world):
+        system, simulator, events = world
+        query = RangeQuery.partial(3, {2: (0.7, 0.85)})
+        run = run_query_on_simulator(system, simulator, 0, query)
+        truth = sorted(e.values for e in events if query.matches(e))
+        assert sorted(e.values for e in run.events) == truth
+
+    def test_latency_positive_and_finite(self, world):
+        system, simulator, _ = world
+        query = RangeQuery.partial(3, {0: (0.4, 0.6)})
+        run = run_query_on_simulator(system, simulator, 0, query)
+        assert run.completed_at > 0.0
+        # Round trip cannot beat twice the deepest dissemination chain.
+        sync = system.query(0, query)
+        assert run.completed_at >= 2 * sync.depth_hops * simulator.hop_latency - 1e-9
+
+    def test_pools_visited_matches_plan(self, world):
+        system, simulator, _ = world
+        fig4 = RangeQuery.of((0.2, 0.3), (0.25, 0.35), (0.21, 0.24))
+        run = run_query_on_simulator(system, simulator, 0, fig4)
+        sync = system.query(0, fig4)
+        assert run.pools_visited == sync.detail.pools_visited
+
+    def test_empty_query_costs_nothing(self, world):
+        system, simulator, _ = world
+        # A query whose derived ranges prune every pool.
+        impossible = RangeQuery.of((0.9, 1.0), (0.0, 0.05), (0.0, 0.05))
+        sync = system.query(0, impossible)
+        run = run_query_on_simulator(system, simulator, 0, impossible)
+        assert run.total_cost == sync.total_cost
+        assert run.events == [] if sync.match_count == 0 else True
+
+
+class TestValidation:
+    def test_dimension_mismatch(self, world):
+        system, simulator, _ = world
+        with pytest.raises(DimensionMismatchError):
+            run_query_on_simulator(
+                system, simulator, 0, RangeQuery.of((0.0, 1.0))
+            )
+
+    def test_topology_mismatch(self, world):
+        system, _, _ = world
+        other = Simulator(deploy_uniform(50, seed=1, target_degree=8))
+        with pytest.raises(QueryError):
+            run_query_on_simulator(
+                system, other, 0, RangeQuery.partial(3, {})
+            )

@@ -1,0 +1,278 @@
+"""Tests for PoolSystem: roles, insertion, querying, sharing, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grid import Cell
+from repro.core.sharing import SharingPolicy
+from repro.core.system import PoolSystem
+from repro.events.event import Event
+from repro.events.generators import (
+    exact_match_queries,
+    generate_events,
+    partial_match_queries,
+)
+from repro.events.queries import RangeQuery
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.ght.ght import GeographicHashTable
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+
+
+@pytest.fixture
+def pool(net300):
+    return PoolSystem(net300, dimensions=3, seed=1)
+
+
+@pytest.fixture
+def loaded_pool(net300):
+    system = PoolSystem(net300, dimensions=3, seed=1)
+    events = generate_events(600, 3, seed=2, sources=list(net300.topology))
+    for event in events:
+        system.insert(event)
+    return system, events
+
+
+class TestConstruction:
+    def test_one_pool_per_dimension(self, pool):
+        assert len(pool.pools) == 3
+        assert [p.index for p in pool.pools] == [0, 1, 2]
+
+    def test_pools_fit_grid(self, pool):
+        for layout in pool.pools:
+            assert pool.grid.contains(layout.pivot)
+            assert pool.grid.contains(layout.cell_at(9, 9))
+
+    def test_explicit_pivots(self, net300):
+        pivots = [Cell(0, 0), Cell(20, 0), Cell(0, 20)]
+        system = PoolSystem(net300, 3, pivots=pivots)
+        assert [p.pivot for p in system.pools] == pivots
+
+    def test_pivot_count_mismatch(self, net300):
+        with pytest.raises(ConfigurationError):
+            PoolSystem(net300, 3, pivots=[Cell(0, 0)])
+
+    def test_pivot_outside_grid_rejected(self, net300):
+        with pytest.raises(ConfigurationError):
+            PoolSystem(net300, 1, pivots=[Cell(10_000, 0)])
+
+    def test_deterministic_pivots(self, topo300):
+        a = PoolSystem(Network(topo300), 3, seed=9)
+        b = PoolSystem(Network(topo300), 3, seed=9)
+        assert [p.pivot for p in a.pools] == [p.pivot for p in b.pools]
+
+    def test_rejects_zero_dimensions(self, net300):
+        with pytest.raises(ConfigurationError):
+            PoolSystem(net300, 0)
+
+
+class TestRoles:
+    def test_index_node_is_closest_to_center(self, pool):
+        cell = pool.pools[0].cell_at(3, 4)
+        node = pool.index_node(cell)
+        assert node == pool.network.closest_node(pool.grid.center(cell))
+
+    def test_index_node_count_bounded(self, pool):
+        # At most k * l^2 distinct index nodes, whatever the network size.
+        assert len(pool.index_nodes()) <= 3 * 10 * 10
+
+    def test_splitter_is_pools_closest_index_node(self, pool):
+        import math
+
+        sink = 0
+        sink_pos = pool.network.position(sink)
+        for layout in pool.pools:
+            splitter = pool.splitter(sink, layout.index)
+            candidates = {pool.index_node(c) for c in layout.cells()}
+            assert splitter in candidates
+            best = min(
+                math.dist(pool.network.position(n), sink_pos)
+                for n in candidates
+            )
+            assert math.dist(
+                pool.network.position(splitter), sink_pos
+            ) == pytest.approx(best)
+
+    def test_publish_pivots_roundtrip(self, pool, net300):
+        ght = GeographicHashTable(net300)
+        cost = pool.publish_pivots(ght, src=0)
+        assert cost > 0
+        for layout in pool.pools:
+            receipt = ght.get(5, ("pool-pivot", layout.index))
+            stored_pivot, stored_center = receipt.values[0]
+            assert stored_pivot == layout.pivot
+
+
+class TestInsert:
+    def test_receipt_placement(self, pool):
+        event = Event.of(0.4, 0.3, 0.1, source=0)
+        receipt = pool.insert(event)
+        assert receipt.detail.pool == 0
+        cell = pool.pools[0].cell_at(receipt.detail.ho, receipt.detail.vo)
+        assert receipt.home_node == pool.index_node(cell)
+
+    def test_insert_cost_is_path_hops(self, pool, net300):
+        receipt = pool.insert(Event.of(0.9, 0.2, 0.1, source=7))
+        assert net300.stats.count(MessageCategory.INSERT) == receipt.hops
+
+    def test_sourceless_event_is_free(self, pool, net300):
+        pool.insert(Event.of(0.5, 0.2, 0.1))
+        assert net300.stats.count(MessageCategory.INSERT) == 0
+
+    def test_tie_event_stored_once_in_closest_pool(self, pool):
+        event = Event.of(0.4, 0.4, 0.2, source=10)
+        receipt = pool.insert(event)
+        assert receipt.detail.pool in (0, 1)
+        assert pool.stored_events == 1  # single copy (Section 4.1)
+
+    def test_tie_chooses_geographically_closer_candidate(self, pool):
+        import math
+
+        event = Event.of(0.4, 0.4, 0.2, source=10)
+        receipt = pool.insert(event)
+        src_pos = pool.network.position(10)
+        chosen = receipt.detail
+        distances = {}
+        for p in (0, 1):
+            cell = pool.pools[p].cell_at(chosen.ho, chosen.vo)
+            distances[p] = math.dist(pool.grid.center(cell), src_pos)
+        assert distances[chosen.pool] == min(distances.values())
+
+    def test_dimension_mismatch(self, pool):
+        with pytest.raises(DimensionMismatchError):
+            pool.insert(Event.of(0.5, 0.5))
+
+    def test_source_argument_overrides_event_source(self, pool):
+        event = Event.of(0.6, 0.2, 0.1, source=3)
+        receipt = pool.insert(event, source=200)
+        assert receipt.hops == pool.network.router.hops(200, receipt.home_node)
+
+
+class TestQuery:
+    def test_results_match_brute_force_exact(self, loaded_pool):
+        pool, events = loaded_pool
+        for query in exact_match_queries(25, 3, seed=3):
+            expected = sorted(e.values for e in events if query.matches(e))
+            got = sorted(e.values for e in pool.query(0, query).events)
+            assert got == expected
+
+    def test_results_match_brute_force_partial(self, loaded_pool):
+        pool, events = loaded_pool
+        for query in partial_match_queries(25, 3, unspecified=1, seed=4):
+            expected = sorted(e.values for e in events if query.matches(e))
+            got = sorted(e.values for e in pool.query(0, query).events)
+            assert got == expected
+
+    def test_point_query(self, loaded_pool):
+        pool, events = loaded_pool
+        target = events[17]
+        result = pool.query(0, RangeQuery.point(*target.values))
+        assert target.values in [e.values for e in result.events]
+
+    def test_cost_matches_ledger(self, loaded_pool):
+        pool, _ = loaded_pool
+        pool.network.reset_stats()
+        result = pool.query(0, RangeQuery.of((0.2, 0.5), (0.1, 0.6), (0.0, 0.9)))
+        assert (
+            pool.network.stats.count(MessageCategory.QUERY_FORWARD)
+            == result.forward_cost
+        )
+        assert (
+            pool.network.stats.count(MessageCategory.QUERY_REPLY)
+            == result.reply_cost
+        )
+
+    def test_detail_reports_plans(self, loaded_pool):
+        pool, _ = loaded_pool
+        result = pool.query(0, RangeQuery.partial(3, {2: (0.8, 0.84)}))
+        assert result.detail.pools_visited == len(result.detail.plans)
+        for plan in result.detail.plans:
+            assert plan.cells
+            assert plan.forward_cost == (
+                plan.sink_to_splitter_hops + plan.tree_edges
+            )
+
+    def test_pruned_pool_not_visited(self, loaded_pool):
+        pool, _ = loaded_pool
+        # Figure 4's query prunes P3 entirely.
+        result = pool.query(0, RangeQuery.of((0.2, 0.3), (0.25, 0.35), (0.21, 0.24)))
+        visited_pools = {plan.pool for plan in result.detail.plans}
+        assert 2 not in visited_pools
+
+    def test_direct_routing_ablation(self, topo300):
+        events = generate_events(200, 3, seed=5, sources=list(topo300))
+        query = RangeQuery.partial(3, {0: (0.7, 0.8)})
+        costs = {}
+        results = {}
+        for direct in (False, True):
+            net = Network(topo300)
+            system = PoolSystem(
+                net, 3, seed=1, route_via_splitter=not direct
+            )
+            for event in events:
+                system.insert(event)
+            result = system.query(0, query)
+            costs[direct] = result.total_cost
+            results[direct] = result.match_count
+        assert results[False] == results[True]  # same answers either way
+
+    def test_dimension_mismatch(self, pool):
+        with pytest.raises(DimensionMismatchError):
+            pool.query(0, RangeQuery.of((0.0, 1.0)))
+
+
+class TestSharingIntegration:
+    def _loaded(self, topo, capacity):
+        net = Network(topo)
+        system = PoolSystem(
+            net, 3, seed=1,
+            sharing=SharingPolicy(enabled=True, capacity=capacity),
+        )
+        events = generate_events(
+            900, 3, distribution="gaussian", seed=6, sources=list(topo)
+        )
+        for event in events:
+            system.insert(event)
+        return system, events
+
+    def test_sharing_spreads_load(self, topo300):
+        baseline = PoolSystem(Network(topo300), 3, seed=1)
+        events = generate_events(
+            900, 3, distribution="gaussian", seed=6, sources=list(topo300)
+        )
+        for event in events:
+            baseline.insert(event)
+        shared, _ = self._loaded(topo300, capacity=16)
+        base_max = max(baseline.storage_distribution().values())
+        shared_max = max(shared.storage_distribution().values())
+        assert shared_max < base_max
+
+    def test_sharing_messages_recorded(self, topo300):
+        system, _ = self._loaded(topo300, capacity=16)
+        assert system.network.stats.count(MessageCategory.SHARING) > 0
+
+    def test_queries_remain_exact_with_sharing(self, topo300):
+        system, events = self._loaded(topo300, capacity=16)
+        for query in exact_match_queries(15, 3, seed=7):
+            expected = sorted(e.values for e in events if query.matches(e))
+            got = sorted(e.values for e in system.query(0, query).events)
+            assert got == expected
+
+    def test_no_events_lost(self, topo300):
+        system, events = self._loaded(topo300, capacity=16)
+        assert system.stored_events == len(events)
+        assert len(system.all_events()) == len(events)
+
+    def test_handoff_cell(self, topo300):
+        system, _ = self._loaded(topo300, capacity=16)
+        key, store = max(
+            system._stores.items(), key=lambda kv: kv[1].total_events()
+        )
+        old_primary = store.primary_node
+        new_node = system.handoff_cell(*key)
+        assert new_node is not None and new_node != old_primary
+        assert store.primary_node == new_node
+
+    def test_handoff_unknown_cell_is_noop(self, pool):
+        assert pool.handoff_cell(0, 9, 9) is None

@@ -1,0 +1,131 @@
+"""Tests for DIM as a runnable storage system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dim.index import DimIndex
+from repro.events.event import Event
+from repro.events.generators import exact_match_queries, generate_events
+from repro.events.queries import RangeQuery
+from repro.exceptions import DimensionMismatchError
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+
+
+@pytest.fixture
+def dim(net300):
+    return DimIndex(net300, dimensions=3)
+
+
+@pytest.fixture
+def loaded_dim(net300):
+    index = DimIndex(net300, dimensions=3)
+    events = generate_events(600, 3, seed=4, sources=list(net300.topology))
+    for event in events:
+        index.insert(event)
+    return index, events
+
+
+class TestInsert:
+    def test_event_stored_at_zone_owner(self, dim):
+        event = Event.of(0.3, 0.7, 0.1, source=0)
+        receipt = dim.insert(event)
+        leaf = dim.tree.leaf_for_values(event.values)
+        assert receipt.home_node == leaf.owner
+        assert receipt.detail == leaf.code
+        assert event in dim.events_in_zone(leaf.code)
+
+    def test_insert_cost_is_gpsr_path(self, dim, net300):
+        event = Event.of(0.9, 0.1, 0.1, source=7)
+        receipt = dim.insert(event)
+        assert net300.stats.count(MessageCategory.INSERT) == receipt.hops
+        leaf = dim.tree.leaf_for_values(event.values)
+        assert receipt.hops == net300.router.hops(7, leaf.owner)
+
+    def test_source_argument_overrides(self, dim):
+        event = Event.of(0.5, 0.5, 0.5, source=3)
+        receipt = dim.insert(event, source=40)
+        assert receipt.hops == dim.network.router.hops(
+            40, dim.tree.leaf_for_values(event.values).owner
+        )
+
+    def test_sourceless_event_costs_nothing(self, dim):
+        receipt = dim.insert(Event.of(0.2, 0.2, 0.2))
+        assert receipt.hops == 0
+
+    def test_dimension_mismatch(self, dim):
+        with pytest.raises(DimensionMismatchError):
+            dim.insert(Event.of(0.5, 0.5))
+
+    def test_stored_events_counter(self, dim):
+        for i in range(5):
+            dim.insert(Event.of(0.1 * (i + 1), 0.05, 0.02))
+        assert dim.stored_events == 5
+
+
+class TestQuery:
+    def test_results_match_brute_force(self, loaded_dim):
+        dim, events = loaded_dim
+        for query in exact_match_queries(25, 3, seed=5):
+            expected = sorted(
+                (e.values for e in events if query.matches(e))
+            )
+            got = sorted(e.values for e in dim.query(0, query).events)
+            assert got == expected
+
+    def test_partial_match_correct(self, loaded_dim):
+        dim, events = loaded_dim
+        query = RangeQuery.partial(3, {1: (0.8, 0.9)})
+        result = dim.query(0, query)
+        assert result.match_count == sum(1 for e in events if query.matches(e))
+
+    def test_cost_recorded_in_ledger(self, loaded_dim):
+        dim, _ = loaded_dim
+        dim.network.reset_stats()
+        result = dim.query(0, RangeQuery.of((0.2, 0.5), (0.2, 0.5), (0.2, 0.5)))
+        assert (
+            dim.network.stats.count(MessageCategory.QUERY_FORWARD)
+            == result.forward_cost
+        )
+        assert (
+            dim.network.stats.count(MessageCategory.QUERY_REPLY)
+            == result.reply_cost
+        )
+
+    def test_detail_reports_zones(self, loaded_dim):
+        dim, _ = loaded_dim
+        result = dim.query(0, RangeQuery.of((0.0, 0.2), (0.0, 0.2), (0.0, 0.2)))
+        assert result.detail.zones_visited == len(result.detail.zone_codes)
+        assert set(result.visited_nodes) == set(result.detail.owner_nodes)
+
+    def test_local_query_is_free(self, dim):
+        # Store one event whose owner is also the sink; query only its zone.
+        event = Event.of(0.31, 0.05, 0.02)
+        leaf = dim.tree.leaf_for_values(event.values)
+        dim.insert(event)  # sourceless: stored locally
+        (lo1, hi1), (lo2, hi2), (lo3, hi3) = leaf.value_box
+        query = RangeQuery.of(
+            (lo1, min(hi1, 1.0)), (lo2, min(hi2, 1.0)), (lo3, min(hi3, 1.0))
+        )
+        result = dim.query(leaf.owner, query)
+        if set(result.visited_nodes) <= {leaf.owner}:
+            assert result.total_cost == 0
+
+    def test_storage_distribution(self, loaded_dim):
+        dim, events = loaded_dim
+        distribution = dim.storage_distribution()
+        assert sum(distribution.values()) == len(events)
+
+
+class TestScalability:
+    def test_zones_visited_grows_with_network(self):
+        """The DIM weakness Figure 6 demonstrates, at unit-test scale."""
+        query = RangeQuery.of((0.1, 0.7), (0.1, 0.7), (0.1, 0.7))
+        from repro.network.topology import deploy_uniform
+
+        counts = []
+        for n in (100, 400):
+            dim = DimIndex(Network(deploy_uniform(n, seed=2)), 3)
+            counts.append(len(dim.tree.zones_for_query(query)))
+        assert counts[1] > counts[0]

@@ -1,0 +1,104 @@
+"""Reproduce the paper's Figure 1: the 8-sensor DIM example.
+
+Figure 1(a) shows an eight-zone partition with codes
+``{000, 001, 01, 100, 101, 110, 1110, 1111}``; Figure 1(b) tabulates each
+zone's value ranges.  We place one sensor in each geographic zone and
+verify the zone tree reproduces the code set and the value-range table.
+
+Known deviation (DESIGN.md): our zone→value mapping uses the straight
+binary descent, whereas Figure 1(b) additionally applies DIM's
+locality-preserving reflection (unspecified in the Pool paper) inside the
+left subtree, mirroring dimension 2 there.  The five zones of the right
+subtree match the paper bit-for-bit; the three left-subtree zones match
+after mirroring dimension 2 — asserted explicitly below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dim.zones import ZoneTree
+from repro.geometry import Rect
+from repro.network.topology import Topology
+
+#: Figure 1(b), paper order, with 1-based dimension boxes.
+PAPER_TABLE = {
+    "000": ((0.0, 0.5), (0.5, 1.0), (0.0, 0.5)),
+    "001": ((0.0, 0.5), (0.5, 1.0), (0.5, 1.0)),
+    "01": ((0.0, 0.5), (0.0, 0.5), (0.0, 1.0)),
+    "110": ((0.5, 1.0), (0.5, 1.0), (0.0, 0.5)),
+    "1111": ((0.75, 1.0), (0.5, 1.0), (0.5, 1.0)),
+    "1110": ((0.5, 0.75), (0.5, 1.0), (0.5, 1.0)),
+    "100": ((0.5, 1.0), (0.0, 0.5), (0.0, 0.5)),
+    "101": ((0.5, 1.0), (0.0, 0.5), (0.5, 1.0)),
+}
+
+#: Zones whose Figure 1(b) row follows the straight (unreflected) descent.
+STRAIGHT_ZONES = {"100", "101", "110", "1110", "1111"}
+
+
+@pytest.fixture(scope="module")
+def figure1_tree() -> ZoneTree:
+    """One sensor per Figure 1 zone, on a 100x100 field."""
+    positions = [
+        (10.0, 10.0),   # zone 000
+        (35.0, 10.0),   # zone 001
+        (20.0, 80.0),   # zone 01
+        (60.0, 20.0),   # zone 100
+        (90.0, 20.0),   # zone 101
+        (60.0, 80.0),   # zone 110
+        (90.0, 60.0),   # zone 1110
+        (90.0, 90.0),   # zone 1111
+    ]
+    topology = Topology(positions, radio_range=200.0, field=Rect(0, 0, 100, 100))
+    return ZoneTree(topology, dimensions=3)
+
+
+def _mirror_dim2(box):
+    (d1, (lo, hi), d3) = box
+    return (d1, (round(1.0 - hi, 10), round(1.0 - lo, 10)), d3)
+
+
+class TestFigure1:
+    def test_zone_codes_match_paper(self, figure1_tree):
+        codes = {leaf.code for leaf in figure1_tree.leaves}
+        assert codes == set(PAPER_TABLE)
+
+    def test_each_sensor_owns_its_zone(self, figure1_tree):
+        expected_owner = {
+            "000": 0, "001": 1, "01": 2, "100": 3,
+            "101": 4, "110": 5, "1110": 6, "1111": 7,
+        }
+        for leaf in figure1_tree.leaves:
+            assert leaf.owner == expected_owner[leaf.code]
+
+    def test_right_subtree_value_ranges_match_paper_exactly(self, figure1_tree):
+        for leaf in figure1_tree.leaves:
+            if leaf.code in STRAIGHT_ZONES:
+                assert leaf.value_box == PAPER_TABLE[leaf.code], leaf.code
+
+    def test_left_subtree_matches_after_d2_reflection(self, figure1_tree):
+        """The documented deviation: paper mirrors dimension 2 when b0=0."""
+        for leaf in figure1_tree.leaves:
+            if leaf.code in STRAIGHT_ZONES:
+                continue
+            assert _mirror_dim2(leaf.value_box) == PAPER_TABLE[leaf.code], leaf.code
+
+    def test_value_boxes_partition_unit_cube(self, figure1_tree):
+        volume = 0.0
+        for leaf in figure1_tree.leaves:
+            v = 1.0
+            for lo, hi in leaf.value_box:
+                v *= hi - lo
+            volume += v
+        assert volume == pytest.approx(1.0)
+
+    def test_paper_query_example_zones(self, figure1_tree):
+        """Section 1: Q = <[0.6,0.8],[0.6,0.65],[0.45,0.6]> touches the
+        paper's zones 110, 1111, 1110 — dimension-2-straight zones, so the
+        conventions agree and the sets must match exactly."""
+        from repro.events.queries import RangeQuery
+
+        query = RangeQuery.of((0.6, 0.8), (0.6, 0.65), (0.45, 0.6))
+        codes = {z.code for z in figure1_tree.zones_for_query(query)}
+        assert codes == {"110", "1110", "1111"}

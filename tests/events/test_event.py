@@ -1,0 +1,105 @@
+"""Tests for the Event record and its value-order machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.events.event import Event
+from repro.exceptions import ValidationError
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+value_tuples = st.lists(unit, min_size=1, max_size=6).map(tuple)
+
+
+class TestConstruction:
+    def test_of(self):
+        event = Event.of(0.3, 0.2, 0.1)
+        assert event.values == (0.3, 0.2, 0.1)
+        assert event.dimensions == 3
+
+    def test_from_sequence_coerces(self):
+        event = Event.from_sequence([0.5, 0.25])
+        assert event.values == (0.5, 0.25)
+        assert isinstance(event.values, tuple)
+
+    def test_list_values_coerced_to_tuple(self):
+        event = Event([0.1, 0.2])  # type: ignore[arg-type]
+        assert isinstance(event.values, tuple)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Event(())
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 2.0])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValidationError):
+            Event.of(0.5, bad)
+
+    def test_container_protocol(self):
+        event = Event.of(0.3, 0.2)
+        assert len(event) == 2
+        assert list(event) == [0.3, 0.2]
+        assert event[1] == 0.2
+
+    def test_source_and_seq_do_not_affect_equality(self):
+        assert Event.of(0.1, 0.2, source=1, seq=5) == Event.of(0.1, 0.2, source=9)
+
+
+class TestDimensionOrder:
+    def test_paper_example(self):
+        # E = <0.3, 0.2, 0.1>: d1 = dimension 1 (paper's 1-based) = index 0.
+        event = Event.of(0.3, 0.2, 0.1)
+        assert event.d1 == 0
+        assert event.d2 == 1
+        assert event.greatest_value == 0.3
+        assert event.second_greatest_value == 0.2
+
+    def test_order_full(self):
+        event = Event.of(0.2, 0.9, 0.5)
+        assert event.dimension_order() == (1, 2, 0)
+
+    def test_tie_breaks_by_lower_index(self):
+        event = Event.of(0.4, 0.4, 0.2)
+        assert event.d1 == 0
+        assert event.d2 == 1
+
+    def test_greatest_dimensions_unique(self):
+        assert Event.of(0.4, 0.3, 0.1).greatest_dimensions() == (0,)
+
+    def test_greatest_dimensions_tied(self):
+        assert Event.of(0.4, 0.4, 0.2).greatest_dimensions() == (0, 1)
+        assert Event.of(0.4, 0.4, 0.4).greatest_dimensions() == (0, 1, 2)
+
+    def test_one_dimensional_d2_falls_back(self):
+        event = Event.of(0.7)
+        assert event.d1 == 0
+        assert event.d2 == 0
+        assert event.second_greatest_value == 0.7
+
+    @given(value_tuples)
+    def test_order_is_permutation(self, values):
+        event = Event(values)
+        order = event.dimension_order()
+        assert sorted(order) == list(range(len(values)))
+
+    @given(value_tuples)
+    def test_order_is_by_decreasing_value(self, values):
+        event = Event(values)
+        order = event.dimension_order()
+        ordered_values = [values[i] for i in order]
+        assert ordered_values == sorted(values, reverse=True)
+
+    @given(value_tuples)
+    def test_greatest_value_is_max(self, values):
+        event = Event(values)
+        assert event.greatest_value == max(values)
+        assert event.second_greatest_value <= event.greatest_value
+
+    @given(value_tuples)
+    def test_greatest_dimensions_all_hold_max(self, values):
+        event = Event(values)
+        top = max(values)
+        assert all(values[i] == top for i in event.greatest_dimensions())
+        assert event.d1 in event.greatest_dimensions()

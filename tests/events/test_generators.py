@@ -1,0 +1,173 @@
+"""Tests for the workload generators (Section 5.1 models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events.generators import (
+    EventWorkload,
+    QueryWorkload,
+    exact_match_queries,
+    generate_events,
+    make_matcher,
+    partial_match_queries,
+)
+from repro.events.queries import FULL_RANGE
+from repro.exceptions import ConfigurationError
+
+
+class TestEventGeneration:
+    def test_count_and_dimensions(self):
+        events = generate_events(50, 3, seed=1)
+        assert len(events) == 50
+        assert all(e.dimensions == 3 for e in events)
+
+    def test_values_in_unit_cube(self):
+        for dist in ("uniform", "gaussian", "zipf", "corner"):
+            events = generate_events(200, 3, distribution=dist, seed=2)
+            assert all(0.0 <= v <= 1.0 for e in events for v in e.values)
+
+    def test_deterministic_for_seed(self):
+        a = generate_events(20, 2, seed=9)
+        b = generate_events(20, 2, seed=9)
+        assert a == b
+
+    def test_sources_round_robin(self):
+        events = generate_events(6, 2, seed=1, sources=[10, 11, 12])
+        assert [e.source for e in events] == [10, 11, 12, 10, 11, 12]
+
+    def test_seq_is_monotonic(self):
+        events = generate_events(5, 2, seed=1)
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+
+    def test_gaussian_is_concentrated(self):
+        events = generate_events(
+            500, 3, distribution="gaussian", seed=3,
+            gaussian_center=0.7, gaussian_spread=0.05,
+        )
+        values = np.array([e.values for e in events]).ravel()
+        assert 0.6 < values.mean() < 0.8
+        assert values.std() < 0.12
+
+    def test_corner_distribution_is_hot(self):
+        events = generate_events(100, 3, distribution="corner", seed=4)
+        assert all(v >= 0.9 for e in events for v in e.values)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_events(-1, 3)
+        with pytest.raises(ConfigurationError):
+            generate_events(5, 0)
+
+    def test_zero_count(self):
+        assert generate_events(0, 3, seed=1) == []
+
+    def test_workload_wrapper(self):
+        workload = EventWorkload(dimensions=3, distribution="gaussian")
+        events = workload.generate(10, seed=5)
+        assert len(events) == 10
+
+
+class TestExactMatchQueries:
+    def test_shape(self):
+        queries = exact_match_queries(30, 3, seed=1)
+        assert len(queries) == 30
+        assert all(q.dimensions == 3 for q in queries)
+
+    def test_bounds_valid(self):
+        for dist in ("uniform", "exponential", "fixed"):
+            queries = exact_match_queries(50, 3, range_sizes=dist, seed=2)
+            for q in queries:
+                for lo, hi in q.bounds:
+                    assert 0.0 <= lo <= hi <= 1.0
+
+    def test_exponential_is_narrower_than_uniform(self):
+        uni = exact_match_queries(300, 3, range_sizes="uniform", seed=3)
+        exp = exact_match_queries(
+            300, 3, range_sizes="exponential", exponential_mean=0.1, seed=3
+        )
+        width = lambda qs: np.mean([hi - lo for q in qs for lo, hi in q.bounds])
+        assert width(exp) < width(uni) / 2
+
+    def test_fixed_width(self):
+        queries = exact_match_queries(
+            10, 2, range_sizes="fixed", fixed_width=0.25, seed=4
+        )
+        for q in queries:
+            for lo, hi in q.bounds:
+                assert hi - lo == pytest.approx(0.25)
+
+    def test_deterministic(self):
+        assert exact_match_queries(10, 3, seed=7) == exact_match_queries(
+            10, 3, seed=7
+        )
+
+
+class TestPartialMatchQueries:
+    def test_m_partial_degree(self):
+        for m in (1, 2):
+            queries = partial_match_queries(40, 3, unspecified=m, seed=1)
+            assert all(q.partial_degree == m for q in queries)
+
+    def test_explicit_dimension(self):
+        # 1@2-partial in paper terms: dimension index 1 unspecified.
+        queries = partial_match_queries(20, 3, unspecified=[1], seed=2)
+        for q in queries:
+            assert q.unspecified_dimensions() == (1,)
+
+    def test_specified_width_bound(self):
+        queries = partial_match_queries(
+            100, 3, unspecified=1, specified_max_width=0.25, seed=3
+        )
+        for q in queries:
+            for d in q.specified_dimensions():
+                lo, hi = q.bounds[d]
+                assert hi - lo <= 0.25 + 1e-12
+
+    def test_random_dimension_choice_varies(self):
+        queries = partial_match_queries(60, 3, unspecified=1, seed=4)
+        chosen = {q.unspecified_dimensions() for q in queries}
+        assert len(chosen) == 3  # all three 1@n variants appear
+
+    def test_rejects_all_unspecified(self):
+        with pytest.raises(ConfigurationError):
+            partial_match_queries(5, 3, unspecified=3)
+        with pytest.raises(ConfigurationError):
+            partial_match_queries(5, 3, unspecified=[0, 1, 2])
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ConfigurationError):
+            partial_match_queries(5, 3, unspecified=[7])
+
+
+class TestQueryWorkload:
+    def test_exact_kind(self):
+        wl = QueryWorkload(dimensions=3, kind="exact", range_sizes="exponential")
+        queries = wl.generate(5, seed=1)
+        assert len(queries) == 5
+        assert "exponential" in wl.describe()
+
+    def test_partial_kind(self):
+        wl = QueryWorkload(dimensions=3, kind="partial", unspecified=2)
+        queries = wl.generate(5, seed=1)
+        assert all(q.partial_degree == 2 for q in queries)
+        assert wl.describe() == "2-partial match"
+
+    def test_one_at_n_description(self):
+        wl = QueryWorkload(dimensions=3, kind="partial", unspecified=(0,))
+        assert wl.describe() == "1@1-partial match"
+
+    def test_label_overrides(self):
+        wl = QueryWorkload(dimensions=3, label="my workload")
+        assert wl.describe() == "my workload"
+
+
+class TestMatcher:
+    def test_matcher_agrees_with_query(self):
+        queries = exact_match_queries(10, 3, seed=5)
+        events = generate_events(100, 3, seed=6)
+        for q in queries:
+            matcher = make_matcher(q)
+            for e in events:
+                assert matcher(e) == q.matches(e)

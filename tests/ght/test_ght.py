@@ -1,0 +1,88 @@
+"""Tests for the geographic hash table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.ght.ght import GeographicHashTable
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+
+
+@pytest.fixture
+def ght(net300):
+    return GeographicHashTable(net300)
+
+
+class TestHashing:
+    def test_hash_point_inside_field(self, ght):
+        field = ght.network.topology.field
+        for key in ("temperature", "humidity", 42, ("pool-pivot", 1)):
+            assert field.contains(ght.hash_point(key))
+
+    def test_hash_is_deterministic(self, ght, net300):
+        other = GeographicHashTable(net300)
+        assert ght.hash_point("k") == other.hash_point("k")
+
+    def test_salt_separates_tables(self, net300):
+        a = GeographicHashTable(net300, salt="a")
+        b = GeographicHashTable(net300, salt="b")
+        assert a.hash_point("k") != b.hash_point("k")
+
+    def test_keys_spread_over_nodes(self, ght):
+        homes = {ght.home_node(f"key-{i}") for i in range(50)}
+        assert len(homes) > 20  # hashing spreads load
+
+
+class TestPutGet:
+    def test_roundtrip(self, ght):
+        ght.put(0, "temperature", {"v": 0.7})
+        receipt = ght.get(5, "temperature")
+        assert receipt.values == [{"v": 0.7}]
+
+    def test_multiple_values_accumulate(self, ght):
+        for i in range(3):
+            ght.put(i, "k", i)
+        assert ght.get(0, "k").values == [0, 1, 2]
+
+    def test_get_missing_is_empty(self, ght):
+        assert ght.get(0, "nothing").values == []
+
+    def test_require_raises_on_miss(self, ght):
+        with pytest.raises(QueryError):
+            ght.require(0, "nothing")
+
+    def test_home_node_consistency(self, ght):
+        receipt = ght.put(0, "k", 1)
+        assert receipt.home_node == ght.home_node("k")
+        assert ght.local_values(receipt.home_node, "k") == [1]
+        assert "k" in ght.stored_keys(receipt.home_node)
+
+    def test_different_sources_reach_same_home(self, ght):
+        a = ght.put(0, "shared", "x")
+        b = ght.put(250, "shared", "y")
+        assert a.home_node == b.home_node
+
+
+class TestCostAccounting:
+    def test_put_cost_is_path_hops(self, net300):
+        ght = GeographicHashTable(net300)
+        receipt = ght.put(0, "k", 1)
+        assert net300.stats.count(MessageCategory.DHT) == receipt.hops
+
+    def test_get_cost_includes_reply(self, net300):
+        ght = GeographicHashTable(net300)
+        put_receipt = ght.put(0, "k", 1)
+        net300.reset_stats()
+        get_receipt = ght.get(0, "k")
+        # Request path + reply path of equal length.
+        assert get_receipt.hops == 2 * put_receipt.hops
+        assert net300.stats.count(MessageCategory.DHT) == get_receipt.hops
+
+    def test_local_read_is_free(self, net300):
+        ght = GeographicHashTable(net300)
+        receipt = ght.put(0, "k", 1)
+        net300.reset_stats()
+        ght.local_values(receipt.home_node, "k")
+        assert net300.stats.total == 0

@@ -1,0 +1,100 @@
+"""Integration: the whole stack working together on one deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import PoolSystem
+from repro.dim.index import DimIndex
+from repro.events.generators import (
+    exact_match_queries,
+    generate_events,
+    partial_match_queries,
+)
+from repro.events.queries import RangeQuery
+from repro.ght.ght import GeographicHashTable
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+
+
+@pytest.fixture(scope="module")
+def world(topo600):
+    """One deployment, both systems loaded with identical events."""
+    events = generate_events(1800, 3, seed=10, sources=list(topo600))
+    pool = PoolSystem(Network(topo600), 3, seed=10)
+    dim = DimIndex(Network(topo600), 3)
+    for event in events:
+        pool.insert(event)
+        dim.insert(event)
+    return pool, dim, events
+
+
+class TestCrossSystemCorrectness:
+    def test_exact_match_queries_agree(self, world):
+        pool, dim, events = world
+        for query in exact_match_queries(20, 3, seed=11):
+            truth = sorted((e.values, e.seq) for e in events if query.matches(e))
+            pool_got = sorted((e.values, e.seq) for e in pool.query(0, query).events)
+            dim_got = sorted((e.values, e.seq) for e in dim.query(0, query).events)
+            assert pool_got == truth
+            assert dim_got == truth
+
+    @pytest.mark.parametrize("m", [1, 2])
+    def test_partial_match_queries_agree(self, world, m):
+        pool, dim, events = world
+        for query in partial_match_queries(15, 3, unspecified=m, seed=12 + m):
+            truth = sorted((e.values, e.seq) for e in events if query.matches(e))
+            pool_got = sorted((e.values, e.seq) for e in pool.query(5, query).events)
+            dim_got = sorted((e.values, e.seq) for e in dim.query(5, query).events)
+            assert pool_got == truth
+            assert dim_got == truth
+
+    def test_point_queries_agree(self, world):
+        pool, dim, events = world
+        for event in events[::300]:
+            query = RangeQuery.point(*event.values)
+            assert pool.query(0, query).match_count == dim.query(
+                0, query
+            ).match_count >= 1
+
+    def test_no_events_lost_anywhere(self, world):
+        pool, dim, events = world
+        assert pool.stored_events == len(events)
+        assert dim.stored_events == len(events)
+        everything = RangeQuery.partial(3, {})
+        assert pool.query(0, everything).match_count == len(events)
+        assert dim.query(0, everything).match_count == len(events)
+
+
+class TestCostAccountingConsistency:
+    def test_query_result_costs_sum_to_ledger(self, topo600):
+        pool = PoolSystem(Network(topo600), 3, seed=3)
+        for event in generate_events(300, 3, seed=4, sources=list(topo600)):
+            pool.insert(event)
+        pool.network.reset_stats()
+        total = 0
+        for query in exact_match_queries(10, 3, seed=5):
+            total += pool.query(0, query).total_cost
+        assert pool.network.stats.query_cost() == total
+
+    def test_insert_and_query_categories_disjoint(self, topo600):
+        pool = PoolSystem(Network(topo600), 3, seed=3)
+        for event in generate_events(100, 3, seed=6, sources=list(topo600)):
+            pool.insert(event)
+        inserted = pool.network.stats.count(MessageCategory.INSERT)
+        pool.query(0, RangeQuery.partial(3, {0: (0.4, 0.5)}))
+        assert pool.network.stats.count(MessageCategory.INSERT) == inserted
+
+
+class TestPivotLookupViaGht:
+    def test_pool_layout_discoverable_through_dht(self, topo600):
+        network = Network(topo600)
+        pool = PoolSystem(network, 3, seed=7)
+        ght = GeographicHashTable(network)
+        pool.publish_pivots(ght, src=0)
+        # Any sensor can now resolve a Pool's pivot (Algorithm 1 line 4).
+        for layout in pool.pools:
+            receipt = ght.require(123, ("pool-pivot", layout.index))
+            pivot, center = receipt.values[0]
+            assert pivot == layout.pivot
+            assert pool.grid.cell_of(center) == layout.pivot

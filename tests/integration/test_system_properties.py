@@ -1,0 +1,118 @@
+"""Property-based end-to-end exactness of the storage systems.
+
+One fixed deployment, hypothesis-generated workloads: whatever events are
+inserted and whatever (well-formed) query is asked, Pool and DIM must
+return exactly the events a centralized scan returns.  This is the
+library's top-level contract; hypothesis hunts boundary alignments
+(values on cell edges, zero-width ranges, ties) that the figure-scale
+tests would never stumble on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import PoolSystem
+from repro.dim.index import DimIndex
+from repro.events.event import Event
+from repro.events.queries import RangeQuery
+from repro.network.network import Network
+from repro.network.topology import deploy_uniform
+
+# Values drawn from a lattice plus arbitrary floats: boundary-heavy.
+boundary_unit = st.one_of(
+    st.sampled_from([0.0, 0.1, 0.25, 0.4, 0.5, 0.75, 0.9, 1.0]),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+event_batches = st.lists(
+    st.tuples(boundary_unit, boundary_unit, boundary_unit).map(
+        lambda v: Event(v)
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+@st.composite
+def boundary_queries(draw):
+    bounds = []
+    for _ in range(3):
+        a, b = draw(boundary_unit), draw(boundary_unit)
+        bounds.append((min(a, b), max(a, b)))
+    return RangeQuery(tuple(bounds))
+
+
+_topology = None
+
+
+def _topo():
+    global _topology
+    if _topology is None:
+        _topology = deploy_uniform(150, seed=42)
+    return _topology
+
+
+class TestExactness:
+    @given(event_batches, boundary_queries())
+    @settings(
+        max_examples=80,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_pool_equals_centralized_scan(self, events, query):
+        topology = _topo()
+        pool = PoolSystem(Network(topology), 3, seed=1)
+        for i, event in enumerate(events):
+            pool.insert(event, source=i % topology.size)
+        truth = sorted(e.values for e in events if query.matches(e))
+        got = sorted(e.values for e in pool.query(0, query).events)
+        assert got == truth
+
+    @given(event_batches, boundary_queries())
+    @settings(
+        max_examples=80,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_dim_equals_centralized_scan(self, events, query):
+        topology = _topo()
+        dim = DimIndex(Network(topology), 3)
+        for i, event in enumerate(events):
+            dim.insert(event, source=i % topology.size)
+        truth = sorted(e.values for e in events if query.matches(e))
+        got = sorted(e.values for e in dim.query(0, query).events)
+        assert got == truth
+
+    @given(event_batches)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_full_space_query_returns_everything(self, events):
+        topology = _topo()
+        pool = PoolSystem(Network(topology), 3, seed=1)
+        for i, event in enumerate(events):
+            pool.insert(event, source=i % topology.size)
+        result = pool.query(0, RangeQuery.partial(3, {}))
+        assert result.match_count == len(events)
+
+    @given(event_batches, boundary_queries())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_pool_and_dim_agree(self, events, query):
+        topology = _topo()
+        pool = PoolSystem(Network(topology), 3, seed=1)
+        dim = DimIndex(Network(topology), 3)
+        for i, event in enumerate(events):
+            pool.insert(event, source=i % topology.size)
+            dim.insert(event, source=i % topology.size)
+        pool_got = sorted(e.values for e in pool.query(0, query).events)
+        dim_got = sorted(e.values for e in dim.query(0, query).events)
+        assert pool_got == dim_got

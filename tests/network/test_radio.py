@@ -1,0 +1,103 @@
+"""Tests for message accounting and the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.messages import Message, MessageCategory
+from repro.network.radio import EnergyModel, MessageStats
+
+
+class TestMessageStats:
+    def test_record_and_count(self):
+        stats = MessageStats()
+        stats.record(MessageCategory.INSERT, 3)
+        stats.record(MessageCategory.INSERT)
+        assert stats.count(MessageCategory.INSERT) == 4
+        assert stats.total == 4
+
+    def test_zero_hops_is_noop(self):
+        stats = MessageStats()
+        stats.record(MessageCategory.INSERT, 0)
+        assert stats.total == 0
+
+    def test_negative_hops_rejected(self):
+        stats = MessageStats()
+        with pytest.raises(ValueError):
+            stats.record(MessageCategory.INSERT, -1)
+
+    def test_record_path_counts_edges(self):
+        stats = MessageStats()
+        stats.record_path(MessageCategory.QUERY_FORWARD, [1, 2, 3, 4])
+        assert stats.count(MessageCategory.QUERY_FORWARD) == 3
+
+    def test_record_path_single_node_is_free(self):
+        stats = MessageStats()
+        stats.record_path(MessageCategory.QUERY_FORWARD, [7])
+        assert stats.total == 0
+
+    def test_query_cost_sums_forward_and_reply(self):
+        stats = MessageStats()
+        stats.record(MessageCategory.QUERY_FORWARD, 5)
+        stats.record(MessageCategory.QUERY_REPLY, 4)
+        stats.record(MessageCategory.INSERT, 100)  # excluded
+        assert stats.query_cost() == 9
+
+    def test_snapshot_has_all_categories(self):
+        stats = MessageStats()
+        snap = stats.snapshot()
+        assert set(snap) == {c.value for c in MessageCategory}
+        assert all(v == 0 for v in snap.values())
+
+    def test_reset(self):
+        stats = MessageStats()
+        stats.record(MessageCategory.DHT, 5)
+        stats.reset()
+        assert stats.total == 0
+
+    def test_checkpoint_delta(self):
+        stats = MessageStats()
+        stats.record(MessageCategory.INSERT, 2)
+        mark = stats.checkpoint()
+        stats.record(MessageCategory.INSERT, 3)
+        stats.record(MessageCategory.DHT, 1)
+        delta = stats.delta(mark)
+        assert delta["insert"] == 3
+        assert delta["dht"] == 1
+
+    def test_per_node_ledger(self):
+        stats = MessageStats()
+        stats.record_path(MessageCategory.INSERT, [1, 2, 3])
+        tx = stats.per_node_transmissions()
+        rx = stats.per_node_receptions()
+        assert tx == {1: 1, 2: 1}
+        assert rx == {2: 1, 3: 1}
+
+
+class TestEnergyModel:
+    def test_spent_linear(self):
+        model = EnergyModel(tx_cost=2.0, rx_cost=1.0, idle_cost_per_s=0.5)
+        assert model.spent(3, 4, idle_s=2.0) == pytest.approx(3 * 2 + 4 * 1 + 1.0)
+
+    def test_remaining(self):
+        model = EnergyModel(tx_cost=1.0, rx_cost=0.0, initial_energy=10.0)
+        assert model.remaining(4, 0) == pytest.approx(6.0)
+
+    def test_per_node_remaining_from_stats(self):
+        stats = MessageStats()
+        stats.record_path(MessageCategory.INSERT, [0, 1, 2])
+        model = EnergyModel(tx_cost=1.0, rx_cost=0.5, initial_energy=10.0)
+        remaining = model.per_node_remaining(stats)
+        assert remaining[0] == pytest.approx(9.0)   # 1 tx
+        assert remaining[1] == pytest.approx(8.5)   # 1 tx + 1 rx
+        assert remaining[2] == pytest.approx(9.5)   # 1 rx
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        a = Message(MessageCategory.INSERT, src=0)
+        b = Message(MessageCategory.INSERT, src=0)
+        assert a.msg_id != b.msg_id
+
+    def test_category_str(self):
+        assert str(MessageCategory.QUERY_REPLY) == "query_reply"

@@ -1,0 +1,189 @@
+"""Tests for the discrete-event kernel, beacons, and node runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DeliveryError
+from repro.geometry import Point
+from repro.network.messages import Message, MessageCategory
+from repro.network.node import SimNode
+from repro.network.simulator import BeaconProtocol, Simulator
+from repro.network.topology import deploy_uniform
+from repro.routing.gpsr import GPSRRouter
+
+
+@pytest.fixture
+def sim():
+    return Simulator(deploy_uniform(60, seed=8), hop_latency=0.01)
+
+
+class TestKernel:
+    def test_events_run_in_time_order(self, sim):
+        seen = []
+        sim.schedule(0.3, lambda: seen.append("c"))
+        sim.schedule(0.1, lambda: seen.append("a"))
+        sim.schedule(0.2, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_tiebreak(self, sim):
+        seen = []
+        sim.schedule(0.1, lambda: seen.append(1))
+        sim.schedule(0.1, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_run_until_stops_early(self, sim):
+        seen = []
+        sim.schedule(0.1, lambda: seen.append("early"))
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run(until=1.0)
+        assert seen == ["early"]
+        assert sim.now == 1.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_cancel(self, sim):
+        seen = []
+        event = sim.schedule(0.1, lambda: seen.append("x"))
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+
+    def test_max_events(self, sim):
+        seen = []
+        for _ in range(5):
+            sim.schedule(0.1, lambda: seen.append(1))
+        processed = sim.run(max_events=3)
+        assert processed == 3 and len(seen) == 3
+
+    def test_rejects_negative_delay(self, sim):
+        with pytest.raises(ConfigurationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            Simulator(deploy_uniform(10, seed=1, target_degree=5), hop_latency=0)
+
+
+class TestSend:
+    def test_hop_count_matches_synchronous_router(self, sim):
+        router = GPSRRouter(sim.topology)
+        for src, dst in [(0, 59), (3, 40), (10, 11)]:
+            sim.stats.reset()
+            sim.send(src, dst, MessageCategory.INSERT)
+            sim.run()
+            expected = len(router.path(src, dst)) - 1
+            assert sim.stats.count(MessageCategory.INSERT) == expected
+
+    def test_delivery_callback_and_latency(self, sim):
+        arrivals = []
+        sim.send(
+            0, 59, MessageCategory.APPLICATION,
+            payload="hi",
+            on_delivered=lambda m: arrivals.append((sim.now, m.payload)),
+        )
+        sim.run()
+        assert len(arrivals) == 1
+        t, payload = arrivals[0]
+        assert payload == "hi"
+        hops = sim.stats.count(MessageCategory.APPLICATION)
+        assert t == pytest.approx(hops * sim.hop_latency)
+
+    def test_handler_dispatch_on_arrival(self, sim):
+        got = []
+        sim.nodes[42].on(
+            MessageCategory.APPLICATION, lambda node, msg: got.append(msg.payload)
+        )
+        sim.send(0, 42, MessageCategory.APPLICATION, payload=123)
+        sim.run()
+        assert got == [123]
+
+    def test_self_send_delivers_immediately(self, sim):
+        got = []
+        sim.nodes[7].on(MessageCategory.APPLICATION, lambda n, m: got.append(m))
+        sim.send(7, 7, MessageCategory.APPLICATION)
+        sim.run()
+        assert len(got) == 1
+
+    def test_sleeping_relay_breaks_delivery(self, sim):
+        router = GPSRRouter(sim.topology)
+        path = router.path(0, 59)
+        assert len(path) > 2, "need a multi-hop path for this test"
+        sim.nodes[path[1]].sleep()
+        sim.send(0, 59, MessageCategory.INSERT)
+        with pytest.raises(DeliveryError):
+            sim.run()
+
+
+class TestBeacons:
+    def test_neighbor_tables_discovered(self, sim):
+        protocol = BeaconProtocol(sim, interval=10.0)
+        protocol.start()
+        sim.run(until=10.0)
+        protocol.stop()
+        for node in sim.nodes:
+            assert set(node.known_neighbors()) == set(
+                sim.topology.neighbors(node.node_id)
+            )
+
+    def test_beacon_costs_one_broadcast_per_node_per_interval(self, sim):
+        protocol = BeaconProtocol(sim, interval=10.0)
+        protocol.start()
+        sim.run(until=9.999)
+        protocol.stop()
+        assert sim.stats.count(MessageCategory.BEACON) == sim.topology.size
+
+    def test_sleeping_node_stops_beaconing_and_gets_evicted(self, sim):
+        protocol = BeaconProtocol(sim, interval=1.0, timeout=2.5)
+        sleeper = 0
+        neighbors = sim.topology.neighbors(sleeper)
+        assert neighbors
+        protocol.start()
+        sim.run(until=1.0)
+        watcher = sim.nodes[neighbors[0]]
+        assert sleeper in watcher.known_neighbors()
+        sim.nodes[sleeper].sleep()
+        sim.run(until=5.0)
+        protocol.stop()
+        assert sleeper not in watcher.known_neighbors()
+
+    def test_stop_allows_queue_to_drain(self, sim):
+        protocol = BeaconProtocol(sim, interval=1.0)
+        protocol.start()
+        sim.run(until=2.0)
+        protocol.stop()
+        sim.run()  # must terminate
+        assert True
+
+    def test_rejects_bad_interval(self, sim):
+        with pytest.raises(ConfigurationError):
+            BeaconProtocol(sim, interval=0.0)
+
+
+class TestSimNode:
+    def test_hear_beacon_updates_entry(self):
+        node = SimNode(1, Point(0, 0))
+        node.hear_beacon(2, Point(1, 1), now=5.0)
+        node.hear_beacon(2, Point(1, 1), now=9.0)
+        assert node.neighbor_table[2].last_heard == 9.0
+
+    def test_evict_stale(self):
+        node = SimNode(1, Point(0, 0))
+        node.hear_beacon(2, Point(1, 1), now=0.0)
+        node.hear_beacon(3, Point(2, 2), now=8.0)
+        evicted = node.evict_stale_neighbors(now=10.0, timeout=5.0)
+        assert evicted == [2]
+        assert node.known_neighbors() == (3,)
+
+    def test_sleeping_node_ignores_messages(self):
+        node = SimNode(1, Point(0, 0))
+        got = []
+        node.on(MessageCategory.APPLICATION, lambda n, m: got.append(m))
+        node.sleep()
+        node.deliver(Message(MessageCategory.APPLICATION, src=0, dst=1))
+        assert got == []
+        node.wake()
+        node.deliver(Message(MessageCategory.APPLICATION, src=0, dst=1))
+        assert len(got) == 1

@@ -1,0 +1,147 @@
+"""Tests for deployment and topology queries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.geometry import Rect
+from repro.network.topology import (
+    Topology,
+    deploy_grid,
+    deploy_uniform,
+    field_side_for_degree,
+)
+
+
+class TestTopologyBasics:
+    def test_size_and_iteration(self, topo300):
+        assert topo300.size == 300
+        assert len(topo300) == 300
+        assert list(topo300)[:3] == [0, 1, 2]
+
+    def test_positions_read_only(self, topo300):
+        with pytest.raises(ValueError):
+            topo300.positions[0, 0] = 99.0
+
+    def test_position_accessor(self, topo300):
+        p = topo300.position(5)
+        assert tuple(p) == tuple(topo300.positions[5])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(TopologyError):
+            Topology(np.zeros((3, 3)), radio_range=10)
+        with pytest.raises(TopologyError):
+            Topology(np.zeros((0, 2)), radio_range=10)
+
+    def test_rejects_bad_radio_range(self):
+        with pytest.raises(ConfigurationError):
+            Topology(np.zeros((2, 2)), radio_range=0)
+
+
+class TestNeighbors:
+    def test_neighbors_are_symmetric(self, topo300):
+        for node in range(0, 300, 17):
+            for neighbor in topo300.neighbors(node):
+                assert node in topo300.neighbors(neighbor)
+
+    def test_neighbors_within_range(self, topo300):
+        positions = topo300.positions
+        for node in range(0, 300, 23):
+            for neighbor in topo300.neighbors(node):
+                d = math.dist(positions[node], positions[neighbor])
+                assert d <= topo300.radio_range + 1e-9
+
+    def test_no_self_neighbor(self, topo300):
+        for node in range(0, 300, 29):
+            assert node not in topo300.neighbors(node)
+
+    def test_grid_interior_degree(self, grid_topo):
+        # Radio range 15 on a 10m grid connects the 8 surrounding cells.
+        interior = 5 * 10 + 5  # node at column 5, row 5
+        assert len(grid_topo.neighbors(interior)) == 8
+
+    def test_average_degree_near_target(self):
+        topo = deploy_uniform(500, target_degree=20.0, seed=3)
+        # Border effects push the measured degree a bit under target.
+        assert 15.0 < topo.average_degree <= 21.0
+
+
+class TestSpatialQueries:
+    def test_closest_node_identity(self, topo300):
+        for node in range(0, 300, 31):
+            assert topo300.closest_node(topo300.position(node)) == node
+
+    def test_nodes_within(self, topo300):
+        center = topo300.position(0)
+        within = topo300.nodes_within(center, 50.0)
+        assert 0 in within
+        positions = topo300.positions
+        for node in within:
+            assert math.dist(positions[node], center) <= 50.0 + 1e-9
+
+    def test_connectivity(self, topo300):
+        assert topo300.is_connected()
+
+    def test_disconnected_detected(self):
+        positions = [(0.0, 0.0), (1.0, 0.0), (100.0, 0.0)]
+        topo = Topology(positions, radio_range=5.0)
+        assert not topo.is_connected()
+
+
+class TestDeployUniform:
+    def test_field_side_formula(self):
+        side = field_side_for_degree(900, 40.0, 20.0)
+        assert side == pytest.approx(math.sqrt(900 * math.pi * 1600 / 20.0))
+
+    def test_field_contains_all_nodes(self):
+        topo = deploy_uniform(200, seed=5)
+        assert all(topo.field.contains(p) for p in topo.positions)
+
+    def test_deterministic(self):
+        a = deploy_uniform(100, seed=9)
+        b = deploy_uniform(100, seed=9)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_connected_by_default(self):
+        topo = deploy_uniform(300, seed=11)
+        assert topo.is_connected()
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            deploy_uniform(0)
+
+    def test_sparse_raises_when_unconnectable(self):
+        with pytest.raises(TopologyError):
+            deploy_uniform(200, target_degree=1.2, seed=1, max_attempts=2)
+
+    def test_sparse_allowed_when_not_required(self):
+        topo = deploy_uniform(
+            50, target_degree=2.0, seed=1, require_connected=False
+        )
+        assert topo.size == 50
+
+
+class TestDeployGrid:
+    def test_shape(self):
+        topo = deploy_grid(4, 3, spacing=10.0)
+        assert topo.size == 12
+        assert topo.field == Rect(0.0, 0.0, 30.0, 20.0)
+
+    def test_default_radio_range(self):
+        topo = deploy_grid(3, 3, spacing=10.0)
+        assert topo.radio_range == 15.0
+
+    def test_jitter_is_deterministic(self):
+        a = deploy_grid(3, 3, spacing=10.0, jitter=1.0, seed=2)
+        b = deploy_grid(3, 3, spacing=10.0, jitter=1.0, seed=2)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            deploy_grid(0, 3, spacing=1.0)
+        with pytest.raises(ConfigurationError):
+            deploy_grid(3, 3, spacing=0.0)

@@ -1,0 +1,111 @@
+"""Tests for the message tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+from repro.network.trace import MessageTracer, TraceRecord
+
+
+class TestTracer:
+    def test_records_appended(self):
+        tracer = MessageTracer()
+        tracer.record(MessageCategory.INSERT, 1, 0, 1)
+        tracer.record(MessageCategory.DHT, 2, None, None)
+        assert len(tracer) == 2
+        records = list(tracer)
+        assert records[0].category is MessageCategory.INSERT
+        assert records[1].hops == 2
+
+    def test_capacity_evicts_fifo(self):
+        tracer = MessageTracer(capacity=3)
+        for i in range(5):
+            tracer.record(MessageCategory.INSERT, 1, i, i + 1)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [r.sender for r in tracer] == [2, 3, 4]
+
+    def test_sequence_is_global(self):
+        tracer = MessageTracer(capacity=2)
+        for i in range(4):
+            tracer.record(MessageCategory.INSERT, 1, i, i)
+        assert [r.seq for r in tracer] == [3, 4]
+
+    def test_filter_by_category(self):
+        tracer = MessageTracer()
+        tracer.record(MessageCategory.INSERT, 1, 0, 1)
+        tracer.record(MessageCategory.QUERY_FORWARD, 1, 1, 2)
+        filtered = tracer.filter(category=MessageCategory.INSERT)
+        assert len(filtered) == 1
+        assert filtered[0].category is MessageCategory.INSERT
+
+    def test_filter_by_node(self):
+        tracer = MessageTracer()
+        tracer.record(MessageCategory.INSERT, 1, 0, 1)
+        tracer.record(MessageCategory.INSERT, 1, 2, 3)
+        assert len(tracer.filter(node=3)) == 1
+        assert len(tracer.filter(node=9)) == 0
+
+    def test_tail(self):
+        tracer = MessageTracer()
+        for i in range(10):
+            tracer.record(MessageCategory.INSERT, 1, i, i)
+        assert [r.sender for r in tracer.tail(3)] == [7, 8, 9]
+        assert tracer.tail(0) == []
+
+    def test_clear_keeps_sequence(self):
+        tracer = MessageTracer()
+        tracer.record(MessageCategory.INSERT, 1, 0, 1)
+        tracer.clear()
+        assert len(tracer) == 0
+        tracer.record(MessageCategory.INSERT, 1, 0, 1)
+        assert next(iter(tracer)).seq == 2
+
+    def test_summary(self):
+        tracer = MessageTracer()
+        tracer.record(MessageCategory.INSERT, 2, 0, 1)
+        tracer.record(MessageCategory.INSERT, 3, 1, 2)
+        tracer.record(MessageCategory.DHT, 1, 0, 1)
+        assert tracer.summary() == {"insert": 5, "dht": 1}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            MessageTracer(capacity=0)
+
+
+class TestStatsIntegration:
+    def test_network_traffic_is_traced(self, topo300):
+        net = Network(topo300)
+        tracer = MessageTracer()
+        net.stats.attach_tracer(tracer)
+        path = net.unicast(MessageCategory.INSERT, 0, 200)
+        assert len(tracer) == len(path) - 1
+        assert all(r.category is MessageCategory.INSERT for r in tracer)
+        # Trace hop endpoints mirror the path.
+        senders = [r.sender for r in tracer]
+        assert senders == path[:-1]
+
+    def test_detach_stops_tracing(self, topo300):
+        net = Network(topo300)
+        tracer = MessageTracer()
+        net.stats.attach_tracer(tracer)
+        net.unicast(MessageCategory.INSERT, 0, 100)
+        seen = len(tracer)
+        net.stats.attach_tracer(None)
+        net.unicast(MessageCategory.INSERT, 0, 200)
+        assert len(tracer) == seen
+
+    def test_trace_counts_agree_with_stats(self, topo300):
+        net = Network(topo300)
+        tracer = MessageTracer(capacity=100_000)
+        net.stats.attach_tracer(tracer)
+        net.unicast(MessageCategory.INSERT, 0, 299)
+        net.multicast(MessageCategory.QUERY_FORWARD, 0, [50, 100])
+        assert tracer.summary() == {
+            key: value
+            for key, value in net.stats.snapshot().items()
+            if value
+        }

@@ -1,0 +1,112 @@
+"""Property-based tests for the multicast tree builder."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.topology import deploy_uniform
+from repro.routing.gpsr import GPSRRouter
+from repro.routing.multicast import TreeBuilder
+
+_topology = None
+_router = None
+
+
+def _env():
+    global _topology, _router
+    if _topology is None:
+        _topology = deploy_uniform(200, seed=17)
+        _router = GPSRRouter(_topology)
+    return _topology, _router
+
+
+destination_sets = st.lists(
+    st.integers(min_value=0, max_value=199), min_size=1, max_size=25
+)
+roots = st.integers(min_value=0, max_value=199)
+
+
+class TestTreeInvariants:
+    @given(roots, destination_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_is_a_tree(self, root, destinations):
+        _, router = _env()
+        builder = TreeBuilder(router, root)
+        builder.add_destinations(destinations)
+        tree = builder.build()
+        parents: dict[int, int] = {}
+        for parent, child in tree.edges:
+            assert child not in parents, "two parents for one node"
+            parents[child] = parent
+        assert root not in parents
+        assert len(tree.edges) == len(tree.nodes()) - 1
+
+    @given(roots, destination_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_destinations_reachable(self, root, destinations):
+        _, router = _env()
+        builder = TreeBuilder(router, root)
+        builder.add_destinations(destinations)
+        tree = builder.build()
+        children = tree.children()
+        reachable = {root}
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            for child in children.get(node, ()):
+                reachable.add(child)
+                frontier.append(child)
+        assert set(destinations) <= reachable
+
+    @given(roots, destination_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_edges_are_radio_links(self, root, destinations):
+        topology, router = _env()
+        builder = TreeBuilder(router, root)
+        builder.add_destinations(destinations)
+        for parent, child in builder.build().edges:
+            assert child in topology.neighbors(parent)
+
+    @given(roots, destination_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_cost_bounds(self, root, destinations):
+        _, router = _env()
+        builder = TreeBuilder(router, root)
+        builder.add_destinations(destinations)
+        tree = builder.build()
+        unique = set(destinations) - {root}
+        if not unique:
+            assert tree.forward_cost == 0
+            return
+        per_dest = {d: router.hops(root, d) for d in unique}
+        assert tree.forward_cost <= sum(per_dest.values())
+        assert tree.forward_cost >= max(per_dest.values())
+        assert tree.height() >= max(
+            tree.depth_of(d) for d in unique
+        ) if unique else True
+
+    @given(roots, destination_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_insertion_order_invariance_of_reachability(self, root, destinations):
+        """Different add orders may yield different trees, but every
+        order must produce a valid tree covering the same destinations."""
+        _, router = _env()
+        for ordering in (destinations, list(reversed(destinations))):
+            builder = TreeBuilder(router, root)
+            builder.add_destinations(ordering)
+            tree = builder.build()
+            assert set(tree.destinations) == set(ordering)
+
+    @given(roots, destination_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_height_at_most_longest_unicast(self, root, destinations):
+        """Grafting can only shorten or keep per-destination depth."""
+        _, router = _env()
+        builder = TreeBuilder(router, root)
+        builder.add_destinations(destinations)
+        tree = builder.build()
+        longest = max(
+            (router.hops(root, d) for d in set(destinations)), default=0
+        )
+        assert tree.height() <= longest

@@ -1,0 +1,96 @@
+"""Tests for the aggregate algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aggregates import AggregateKind, AggregateState, aggregate_events
+from repro.events.event import Event
+from repro.exceptions import QueryError, ValidationError
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+value_lists = st.lists(unit, min_size=1, max_size=40)
+
+
+class TestState:
+    def test_of_value(self):
+        state = AggregateState.of_value(0.3)
+        assert state.count == 1
+        assert state.total == 0.3
+        assert state.minimum == state.maximum == 0.3
+
+    def test_empty_identity(self):
+        state = AggregateState()
+        merged = state.merge(AggregateState.of_value(0.5))
+        assert merged == AggregateState.of_value(0.5)
+
+    @given(value_lists, value_lists)
+    def test_merge_commutative(self, a, b):
+        sa = AggregateState.of_events([Event.of(v) for v in a], 0)
+        sb = AggregateState.of_events([Event.of(v) for v in b], 0)
+        assert sa.merge(sb) == sb.merge(sa)
+
+    @given(value_lists, value_lists, value_lists)
+    def test_merge_associative(self, a, b, c):
+        states = [
+            AggregateState.of_events([Event.of(v) for v in vals], 0)
+            for vals in (a, b, c)
+        ]
+        left = states[0].merge(states[1]).merge(states[2])
+        right = states[0].merge(states[1].merge(states[2]))
+        assert left.count == right.count
+        assert left.total == pytest.approx(right.total)
+        assert left.minimum == right.minimum
+        assert left.maximum == right.maximum
+
+    @given(value_lists)
+    def test_tree_merge_equals_flat_fold(self, values):
+        """Any merge tree gives the flat fold — the in-network guarantee."""
+        events = [Event.of(v) for v in values]
+        flat = AggregateState.of_events(events, 0)
+        mid = len(events) // 2
+        split = AggregateState.of_events(events[:mid], 0).merge(
+            AggregateState.of_events(events[mid:], 0)
+        )
+        assert split.count == flat.count
+        assert split.total == pytest.approx(flat.total)
+        assert split.minimum == flat.minimum
+        assert split.maximum == flat.maximum
+
+
+class TestFinalize:
+    @given(value_lists)
+    def test_matches_python_builtins(self, values):
+        events = [Event.of(v) for v in values]
+        assert aggregate_events(events, 0, AggregateKind.COUNT) == len(values)
+        assert aggregate_events(events, 0, AggregateKind.SUM) == pytest.approx(
+            sum(values)
+        )
+        assert aggregate_events(events, 0, AggregateKind.AVG) == pytest.approx(
+            sum(values) / len(values)
+        )
+        assert aggregate_events(events, 0, AggregateKind.MIN) == min(values)
+        assert aggregate_events(events, 0, AggregateKind.MAX) == max(values)
+
+    def test_dimension_selection(self):
+        events = [Event.of(0.1, 0.9), Event.of(0.2, 0.8)]
+        assert aggregate_events(events, 1, AggregateKind.MAX) == 0.9
+        assert aggregate_events(events, 0, AggregateKind.MAX) == 0.2
+
+    def test_empty_count_and_sum_defined(self):
+        empty = AggregateState()
+        assert empty.finalize(AggregateKind.COUNT) == 0
+        assert empty.finalize(AggregateKind.SUM) == 0.0
+
+    @pytest.mark.parametrize(
+        "kind", [AggregateKind.AVG, AggregateKind.MIN, AggregateKind.MAX]
+    )
+    def test_empty_order_statistics_raise(self, kind):
+        with pytest.raises(QueryError):
+            AggregateState().finalize(kind)
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_events([Event.of(0.5)], 3, AggregateKind.SUM)

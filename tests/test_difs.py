@@ -1,0 +1,168 @@
+"""Tests for the DIFS-style single-attribute index."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dcs import DataCentricStore
+from repro.difs.index import DifsIndex, _IndexRange
+from repro.events.event import Event
+from repro.events.generators import exact_match_queries, generate_events
+from repro.events.queries import RangeQuery
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.network.messages import MessageCategory
+from repro.network.network import Network
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@pytest.fixture
+def difs(net300):
+    return DifsIndex(net300, dimensions=3, attribute=0)
+
+
+@pytest.fixture
+def loaded_difs(net300):
+    index = DifsIndex(net300, dimensions=3, attribute=0)
+    events = generate_events(400, 3, seed=5, sources=list(net300.topology))
+    for event in events:
+        index.insert(event)
+    return index, events
+
+
+class TestTreeGeometry:
+    def test_leaf_width(self, difs):
+        assert difs.leaf_width() == pytest.approx(1.0 / 64)
+
+    def test_leaf_for_value_contains(self, difs):
+        for value in (0.0, 0.3, 0.999, 1.0):
+            leaf = difs.leaf_for_value(value)
+            assert leaf.contains(value)
+            assert leaf.depth == difs.depth
+
+    def test_ancestors_chain(self, difs):
+        leaf = difs.leaf_for_value(0.37)
+        chain = difs.ancestors(leaf)
+        assert [a.depth for a in chain] == [2, 1]
+        for ancestor in chain:
+            assert ancestor.lo <= leaf.lo and leaf.hi <= ancestor.hi
+
+    @given(unit, unit)
+    @settings(max_examples=100)
+    def test_canonical_ranges_cover_query_exactly(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        difs = _shared()
+        ranges = difs.canonical_ranges(lo, hi)
+        # Coverage: every leaf intersecting [lo, hi] is under some range.
+        width = difs.leaf_width()
+        leaves = difs.branching**difs.depth
+        for i in range(leaves):
+            l_lo, l_hi = i * width, (i + 1) * width
+            intersects = l_lo <= hi and lo < l_hi or (lo == hi == l_hi == 1.0)
+            covered = any(r.lo <= l_lo and l_hi <= r.hi for r in ranges)
+            if intersects:
+                assert covered, (lo, hi, l_lo, l_hi)
+
+    def test_canonical_ranges_disjoint(self, difs):
+        ranges = difs.canonical_ranges(0.1, 0.8)
+        for a, b in zip(ranges, ranges[1:]):
+            assert a.hi <= b.lo + 1e-12
+
+    def test_full_range_uses_top_level(self, difs):
+        ranges = difs.canonical_ranges(0.0, 1.0)
+        assert len(ranges) == difs.branching
+        assert all(r.depth == 1 for r in ranges)
+
+    def test_logarithmic_decomposition(self, difs):
+        # A generic range decomposes into O(b * depth) canonical nodes.
+        ranges = difs.canonical_ranges(0.113, 0.871)
+        assert len(ranges) <= 2 * difs.branching * difs.depth
+
+
+class TestConstruction:
+    def test_validation(self, net300):
+        with pytest.raises(ConfigurationError):
+            DifsIndex(net300, 0)
+        with pytest.raises(ConfigurationError):
+            DifsIndex(net300, 3, attribute=3)
+        with pytest.raises(ConfigurationError):
+            DifsIndex(net300, 3, branching=1)
+        with pytest.raises(ConfigurationError):
+            DifsIndex(net300, 3, depth=0)
+
+    def test_protocol_conformance(self, difs):
+        assert isinstance(difs, DataCentricStore)
+
+
+class TestInsert:
+    def test_insert_charges_leaf_and_ancestors(self, difs, net300):
+        receipt = difs.insert(Event.of(0.42, 0.1, 0.9, source=3))
+        assert net300.stats.count(MessageCategory.INSERT) == receipt.hops
+        assert difs.stored_events == 1
+
+    def test_leaf_placement_spreads_by_value(self, difs):
+        low = difs.insert(Event.of(0.01, 0.5, 0.5, source=0))
+        high = difs.insert(Event.of(0.99, 0.5, 0.5, source=0))
+        assert low.detail != high.detail
+
+    def test_dimension_mismatch(self, difs):
+        with pytest.raises(DimensionMismatchError):
+            difs.insert(Event.of(0.5))
+
+
+class TestQuery:
+    def test_results_match_brute_force(self, loaded_difs):
+        difs, events = loaded_difs
+        for query in exact_match_queries(20, 3, seed=6):
+            expected = sorted(e.values for e in events if query.matches(e))
+            got = sorted(e.values for e in difs.query(0, query).events)
+            assert got == expected
+
+    def test_partial_match_correct(self, loaded_difs):
+        difs, events = loaded_difs
+        query = RangeQuery.partial(3, {0: (0.2, 0.4)})
+        result = difs.query(0, query)
+        assert result.match_count == sum(1 for e in events if query.matches(e))
+
+    def test_post_filtering_reported(self, loaded_difs):
+        """Dimensions other than the indexed one filter after retrieval —
+        DIFS's structural weakness for multi-dimensional queries."""
+        difs, events = loaded_difs
+        query = RangeQuery.of((0.0, 1.0), (0.4, 0.41), (0.0, 1.0))
+        result = difs.query(0, query)
+        # The indexed attribute is unconstrained: everything is fetched,
+        # almost everything discarded.
+        assert result.detail.post_filtered > 0
+        assert (
+            result.detail.post_filtered + result.match_count
+            == difs.stored_events
+        )
+
+    def test_narrow_indexed_range_prunes(self, loaded_difs):
+        difs, _ = loaded_difs
+        narrow = difs.query(0, RangeQuery.partial(3, {0: (0.30, 0.31)}))
+        wide = difs.query(0, RangeQuery.partial(3, {0: (0.0, 1.0)}))
+        assert len(narrow.detail.index_nodes) < len(wide.detail.index_nodes)
+
+    def test_boundary_values_retrievable(self, net300):
+        difs = DifsIndex(net300, 3)
+        difs.insert(Event.of(1.0, 0.5, 0.5, source=0))
+        difs.insert(Event.of(0.0, 0.5, 0.5, source=0))
+        top = difs.query(0, RangeQuery.partial(3, {0: (1.0, 1.0)}))
+        bottom = difs.query(0, RangeQuery.partial(3, {0: (0.0, 0.0)}))
+        assert top.match_count == 1
+        assert bottom.match_count == 1
+
+
+_difs_cache = None
+
+
+def _shared() -> DifsIndex:
+    global _difs_cache
+    if _difs_cache is None:
+        from repro.network.topology import deploy_uniform
+
+        _difs_cache = DifsIndex(Network(deploy_uniform(100, seed=8)), 3)
+    return _difs_cache

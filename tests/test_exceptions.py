@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    DeliveryError,
+    DimensionMismatchError,
+    QueryError,
+    ReproError,
+    RoutingError,
+    StorageError,
+    TopologyError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ValidationError,
+            DimensionMismatchError,
+            RoutingError,
+            DeliveryError,
+            TopologyError,
+            StorageError,
+            CapacityError,
+            QueryError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        # Callers using plain `except ValueError` still catch bad input.
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(DimensionMismatchError, ValueError)
+
+    def test_delivery_is_routing(self):
+        assert issubclass(DeliveryError, RoutingError)
+
+    def test_capacity_is_storage(self):
+        assert issubclass(CapacityError, StorageError)
+
+
+class TestPayloads:
+    def test_dimension_mismatch_message(self):
+        error = DimensionMismatchError(3, 2, what="query")
+        assert error.expected == 3
+        assert error.actual == 2
+        assert "query" in str(error)
+        assert "3" in str(error) and "2" in str(error)
+
+    def test_delivery_error_partial_path(self):
+        error = DeliveryError("stuck", partial_path=[1, 2, 3])
+        assert error.partial_path == [1, 2, 3]
+
+    def test_delivery_error_default_path(self):
+        assert DeliveryError("stuck").partial_path == []
+
+    def test_single_except_catches_all(self):
+        with pytest.raises(ReproError):
+            raise QueryError("nope")

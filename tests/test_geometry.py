@@ -1,0 +1,179 @@
+"""Unit and property tests for the planar geometry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Rect,
+    angle_of,
+    bounding_box,
+    ccw_angle_from,
+    distance,
+    distance_sq,
+    midpoint,
+    orientation,
+    segment_intersection_point,
+    segments_properly_intersect,
+)
+
+coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(coords, coords)
+
+
+class TestPoint:
+    def test_add_and_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - (1, 1) == Point(2, 3)
+
+    def test_scaled(self):
+        assert Point(2, -3).scaled(2.0) == Point(4, -6)
+
+    def test_is_tuple(self):
+        x, y = Point(5, 6)
+        assert (x, y) == (5, 6)
+
+
+class TestDistance:
+    def test_pythagorean(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+        assert distance_sq((0, 0), (3, 4)) == 25.0
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert distance(a, b) == distance(b, a)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6
+
+    @given(points)
+    def test_identity(self, a):
+        assert distance(a, a) == 0.0
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == Point(1, 2)
+
+
+class TestAngles:
+    def test_cardinal_directions(self):
+        origin = (0.0, 0.0)
+        assert angle_of(origin, (1, 0)) == pytest.approx(0.0)
+        assert angle_of(origin, (0, 1)) == pytest.approx(math.pi / 2)
+        assert angle_of(origin, (-1, 0)) == pytest.approx(math.pi)
+        assert angle_of(origin, (0, -1)) == pytest.approx(3 * math.pi / 2)
+
+    @given(points, points)
+    def test_angle_in_range(self, a, b):
+        if a == b:
+            return
+        assert 0.0 <= angle_of(a, b) < 2 * math.pi
+
+    def test_ccw_sweep_basic(self):
+        assert ccw_angle_from(0.0, math.pi / 2) == pytest.approx(math.pi / 2)
+        assert ccw_angle_from(math.pi / 2, 0.0) == pytest.approx(3 * math.pi / 2)
+
+    def test_ccw_sweep_zero_maps_to_full_turn(self):
+        assert ccw_angle_from(1.0, 1.0) == pytest.approx(2 * math.pi)
+
+    @given(
+        st.floats(min_value=0, max_value=2 * math.pi - 1e-9),
+        st.floats(min_value=0, max_value=2 * math.pi - 1e-9),
+    )
+    def test_ccw_sweep_bounds(self, ref, angle):
+        sweep = ccw_angle_from(ref, angle)
+        assert 0.0 < sweep <= 2 * math.pi
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert orientation((0, 0), (1, 0), (1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation((0, 0), (1, 1), (1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    @given(points, points, points)
+    def test_antisymmetry(self, a, b, c):
+        assert orientation(a, b, c) == -orientation(a, c, b)
+
+
+class TestSegmentIntersection:
+    def test_proper_crossing(self):
+        assert segments_properly_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_shared_endpoint_not_proper(self):
+        assert not segments_properly_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_properly_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_intersection_point_center(self):
+        p = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert p == pytest.approx((1.0, 1.0))
+
+    def test_intersection_point_touching(self):
+        p = segment_intersection_point((0, 0), (1, 1), (1, 1), (2, 0))
+        assert p == pytest.approx((1.0, 1.0))
+
+    def test_intersection_point_none_for_parallel(self):
+        assert segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_intersection_point_none_when_disjoint(self):
+        assert segment_intersection_point((0, 0), (1, 0), (2, 1), (2, -1)) is None
+
+    @given(points, points, points, points)
+    def test_proper_implies_point(self, p1, p2, q1, q2):
+        if segments_properly_intersect(p1, p2, q1, q2):
+            assert segment_intersection_point(p1, p2, q1, q2) is not None
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4 and r.height == 2 and r.area == 8
+        assert r.center == Point(2, 1)
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains((0, 0)) and r.contains((1, 1)) and r.contains((0.5, 0.5))
+        assert not r.contains((1.0001, 0.5))
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert a.intersects(Rect(2, 0, 3, 1))  # touching edge counts
+        assert not a.intersects(Rect(2.1, 0, 3, 1))
+
+    def test_clamp(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.clamp((2, -1)) == Point(1, 0)
+        assert r.clamp((0.5, 0.5)) == Point(0.5, 0.5)
+
+    def test_split_x(self):
+        left, right = Rect(0, 0, 4, 2).split_x()
+        assert left == Rect(0, 0, 2, 2)
+        assert right == Rect(2, 0, 4, 2)
+
+    def test_split_y(self):
+        bottom, top = Rect(0, 0, 4, 2).split_y()
+        assert bottom == Rect(0, 0, 4, 1)
+        assert top == Rect(0, 1, 4, 2)
+
+    @given(st.lists(points, min_size=1, max_size=20))
+    def test_bounding_box_contains_all(self, pts):
+        box = bounding_box(pts)
+        assert all(box.contains(p) for p in pts)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

@@ -1,0 +1,77 @@
+"""Tests for the plain-text field renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import PoolSystem
+from repro.events.queries import RangeQuery
+from repro.exceptions import ConfigurationError
+from repro.network.network import Network
+from repro.viz import FieldCanvas, render_pools, render_route, render_topology
+
+
+class TestCanvas:
+    def test_dimensions(self, topo300):
+        canvas = FieldCanvas(topo300, width=40)
+        text = canvas.render()
+        lines = text.splitlines()
+        assert len(lines) == canvas.height + 2  # borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_raster_corners(self, topo300):
+        canvas = FieldCanvas(topo300, width=40)
+        field = topo300.field
+        assert canvas.raster_of((field.x_min, field.y_min)) == (
+            canvas.height - 1,
+            0,
+        )
+        top_right = canvas.raster_of((field.x_max, field.y_max))
+        assert top_right == (0, canvas.width - 1)
+
+    def test_plot_and_render(self, topo300):
+        canvas = FieldCanvas(topo300, width=40)
+        canvas.plot(topo300.field.center, "#")
+        assert "#" in canvas.render()
+
+    def test_width_validation(self, topo300):
+        with pytest.raises(ConfigurationError):
+            FieldCanvas(topo300, width=2)
+
+    def test_title(self, topo300):
+        assert FieldCanvas(topo300).render("hello").startswith("hello")
+
+
+class TestLayers:
+    def test_density_shows_digits(self, topo300):
+        text = render_topology(topo300)
+        assert any(ch.isdigit() for ch in text)
+
+    def test_failed_marked(self, topo300):
+        degraded = topo300.without([0, 1, 2])
+        text = render_topology(degraded)
+        assert "X" in text
+
+    def test_pools_lower_and_uppercase(self, topo300):
+        system = PoolSystem(Network(topo300), 3, seed=1)
+        query = RangeQuery.partial(3, {2: (0.8, 0.84)})
+        text = render_pools(system, query)
+        for glyph in ("a", "b", "c"):
+            assert glyph in text
+        # At least one relevant cell highlighted.
+        assert any(g in text for g in ("A", "B", "C"))
+
+    def test_route_endpoints(self, net300):
+        path = net300.router.path(0, 250)
+        text = render_route(net300.topology, path)
+        assert "S" in text and "D" in text
+        assert f"({len(path) - 1} hops)" in text
+
+    def test_layer_nodes(self, topo300):
+        canvas = FieldCanvas(topo300, width=40).layer_nodes([5, 10], "!")
+        assert canvas.render().count("!") >= 1
+
+    def test_chaining_returns_canvas(self, topo300):
+        canvas = FieldCanvas(topo300)
+        assert canvas.layer_density() is canvas
+        assert canvas.layer_failed() is canvas

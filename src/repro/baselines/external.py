@@ -36,7 +36,7 @@ class ExternalStorage:
     def __init__(
         self, network: Network, dimensions: int, *, sink: int | None = None
     ) -> None:
-        self.network = network
+        self.network = network.scope("external")
         self.dimensions = dimensions
         self.sink = (
             sink

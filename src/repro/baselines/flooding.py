@@ -28,7 +28,7 @@ class LocalStorageFlooding:
     """Store-locally / flood-queries baseline over a :class:`Network`."""
 
     def __init__(self, network: Network, dimensions: int) -> None:
-        self.network = network
+        self.network = network.scope("flooding")
         self.dimensions = dimensions
         self._storage: dict[int, list[Event]] = {}
         self._event_count = 0

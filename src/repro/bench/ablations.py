@@ -22,6 +22,7 @@ from repro.core.sharing import SharingPolicy
 from repro.core.system import PoolSystem
 from repro.dim.index import DimIndex
 from repro.events.generators import generate_events
+from repro.network.deployment import Deployment
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
 from repro.network.topology import deploy_uniform
@@ -54,13 +55,16 @@ def run_hotspot_ablation(
     reports the hottest node's load for each configuration — with sharing
     enabled the maximum should approach the configured capacity.
     """
-    topology = deploy_uniform(size, seed=derive(seed, "hotspot-topo"))
+    # One deployment serves all three configurations: the GPSR route
+    # cache warmed by DIM's inserts is reused by both Pool variants.
+    deployment = Deployment.deploy(size, seed=derive(seed, "hotspot-topo"))
+    root = Network(deployment=deployment)
     events = generate_events(
         events_per_node * size,
         3,
         distribution=distribution,  # type: ignore[arg-type]
         seed=derive(seed, "hotspot-events"),
-        sources=list(topology),
+        sources=list(deployment.topology),
     )
     table = Table(
         title=(
@@ -76,8 +80,7 @@ def run_hotspot_ablation(
         ],
     )
 
-    dim_net = Network(topology)
-    dim = DimIndex(dim_net, 3)
+    dim = DimIndex(root.scope("dim"), 3)
     for event in events:
         dim.insert(event)
     max_load, p99, holders = _load_stats(dim.storage_distribution())
@@ -87,7 +90,7 @@ def run_hotspot_ablation(
         ("pool (no sharing)", SharingPolicy()),
         ("pool (sharing)", SharingPolicy(enabled=True, capacity=capacity)),
     ):
-        net = Network(topology)
+        net = root.scope(label)
         pool = PoolSystem(
             net, 3, seed=derive(seed, "hotspot-pivots"), sharing=sharing
         )

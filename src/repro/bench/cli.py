@@ -54,6 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=None, help="override trial count"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the (size, trial) grid; results are "
+            "identical to --jobs 1 for the same seed"
+        ),
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None, help="also write results as JSON"
     )
     parser.add_argument(
@@ -103,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
         result = run_experiment(
             config,
             seed=args.seed,
+            jobs=args.jobs,
             progress=None if args.quiet else _progress,
         )
         elapsed = time.time() - started

@@ -1,20 +1,33 @@
 """The experiment runner.
 
-For every ``(network size, trial)`` pair the runner deploys one topology
-and feeds the *same* events and queries to every system under test (each
-on its own :class:`~repro.network.network.Network` facade so accounting
-never bleeds between systems).  Per query it records the paper's metric —
-query-forward plus query-reply messages — and aggregates means over
-queries and trials.
+For every ``(network size, trial)`` pair the runner builds one shared
+:class:`~repro.network.deployment.Deployment` — topology, planarization
+and GPSR route cache are constructed exactly once per cell — and feeds
+the *same* events and queries to every system under test.  Each system
+runs on its own scoped :class:`~repro.network.network.Network` facade
+over that deployment, so accounting never bleeds between systems while
+the expensive routing state warms up across all of them.  Per query it
+records the paper's metric — query-forward plus query-reply messages —
+and aggregates means over queries and trials.
+
+Cells are independent, which is what makes the grid embarrassingly
+parallel: ``run_experiment(..., jobs=N)`` fans the ``(size, trial)``
+cells out over a :class:`concurrent.futures.ProcessPoolExecutor` and
+merges the per-cell samples back in deterministic cell order, so a
+parallel run emits exactly the rows of a serial run.
 
 The runner is deterministic from a single seed: topology, events and
-queries derive independent RNG streams via :func:`repro.rng.derive`.
+queries derive independent RNG streams via :func:`repro.rng.derive`, and
+the derivation keys include ``(size, trial)`` so a cell's artifacts never
+depend on which worker (or in which order) it executes.
 """
 
 from __future__ import annotations
 
 import statistics
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 from repro.baselines.external import ExternalStorage
@@ -26,8 +39,9 @@ from repro.dcs import DataCentricStore
 from repro.difs.index import DifsIndex
 from repro.dim.index import DimIndex
 from repro.exceptions import ConfigurationError
+from repro.network.deployment import Deployment
 from repro.network.network import Network
-from repro.network.topology import Topology, deploy_uniform
+from repro.network.topology import Topology
 from repro.rng import derive
 
 __all__ = ["ResultRow", "ExperimentResult", "run_experiment", "build_system"]
@@ -52,9 +66,23 @@ class ResultRow:
     mean_insert_hops: float
     mean_visited_nodes: float
     mean_depth_hops: float = 0.0
+    # Wall-clock trajectory (seconds, means over trials).  Not part of
+    # the deterministic row identity: two runs of the same seed agree on
+    # every field above but naturally differ here.
+    build_seconds: float = 0.0
+    insert_seconds: float = 0.0
+    query_seconds: float = 0.0
 
-    def as_dict(self) -> dict[str, float | int | str]:
-        return {
+    def as_dict(
+        self, *, include_timings: bool = True
+    ) -> dict[str, float | int | str | dict[str, float]]:
+        """JSON-ready view of the row.
+
+        ``include_timings=False`` drops the wall-clock sub-object,
+        leaving exactly the seed-deterministic fields — the form the
+        serial-vs-parallel equivalence tests compare.
+        """
+        payload: dict[str, float | int | str | dict[str, float]] = {
             "size": self.size,
             "workload": self.workload,
             "system": self.system,
@@ -69,6 +97,13 @@ class ResultRow:
             "mean_visited_nodes": round(self.mean_visited_nodes, 2),
             "mean_depth_hops": round(self.mean_depth_hops, 2),
         }
+        if include_timings:
+            payload["timings"] = {
+                "build_seconds": round(self.build_seconds, 6),
+                "insert_seconds": round(self.insert_seconds, 6),
+                "query_seconds": round(self.query_seconds, 6),
+            }
+        return payload
 
 
 @dataclass(slots=True)
@@ -107,12 +142,14 @@ class ExperimentResult:
                 return row
         raise KeyError(f"no row for ({system}, {size}, {workload!r})")
 
-    def as_dict(self) -> dict[str, object]:
+    def as_dict(self, *, include_timings: bool = True) -> dict[str, object]:
         return {
             "name": self.name,
             "title": self.title,
             "paper_claim": self.paper_claim,
-            "rows": [row.as_dict() for row in self.rows],
+            "rows": [
+                row.as_dict(include_timings=include_timings) for row in self.rows
+            ],
         }
 
 
@@ -126,6 +163,9 @@ def build_system(
     ``"pool-l<N>"`` (side length override, e.g. ``pool-l20``), ``"dim"``
     (the paper's baseline), ``"difs"`` (single-attribute predecessor),
     ``"flooding"`` and ``"external"`` (the classical non-DCS extremes).
+
+    Every system scopes its own ledger off ``network`` at construction,
+    so one facade (over one shared deployment) can host all of them.
     """
     if name == "dim":
         return DimIndex(network, config.dimensions)
@@ -182,71 +222,153 @@ class _CellSamples:
     visited: list[float] = field(default_factory=list)
     insert_hops: list[float] = field(default_factory=list)
     depths: list[float] = field(default_factory=list)
+    build_s: list[float] = field(default_factory=list)
+    insert_s: list[float] = field(default_factory=list)
+    query_s: list[float] = field(default_factory=list)
+
+    def merge(self, other: "_CellSamples") -> None:
+        """Append ``other``'s samples (one grid cell) onto this one."""
+        self.costs.extend(other.costs)
+        self.forwards.extend(other.forwards)
+        self.replies.extend(other.replies)
+        self.matches.extend(other.matches)
+        self.visited.extend(other.visited)
+        self.insert_hops.extend(other.insert_hops)
+        self.depths.extend(other.depths)
+        self.build_s.extend(other.build_s)
+        self.insert_s.extend(other.insert_s)
+        self.query_s.extend(other.query_s)
+
+
+def _run_cell(
+    config: ExperimentConfig,
+    seed: int,
+    size: int,
+    trial: int,
+    progress: ProgressFn | None = None,
+) -> dict[tuple[str, str], _CellSamples]:
+    """Run one (size, trial) grid cell: every system, every workload.
+
+    One deployment is built here and shared by all systems through scoped
+    facades.  Top-level so the process pool can pickle it; all RNG
+    streams derive from ``(seed, size, trial)``, making the result
+    independent of which worker runs the cell.
+    """
+    build_started = perf_counter()
+    deployment = Deployment.deploy(
+        size,
+        radio_range=config.radio_range,
+        target_degree=config.target_degree,
+        seed=derive(seed, "topology", size, trial),
+    )
+    build_seconds = perf_counter() - build_started
+    root = Network(deployment=deployment)
+    sink = _sink_node(deployment.topology)
+    events = config.event_workload.generate(
+        config.events_per_node * size,
+        seed=derive(seed, "events", size, trial),
+        sources=list(deployment.topology),
+    )
+    query_sets = [
+        (
+            workload.describe(),
+            workload.generate(
+                config.query_count,
+                seed=derive(seed, "queries", size, trial, wi),
+            ),
+        )
+        for wi, workload in enumerate(config.query_workloads)
+    ]
+    samples: dict[tuple[str, str], _CellSamples] = {}
+    for system_name in config.systems:
+        if progress is not None:
+            progress(
+                f"[{config.name}] n={size} trial={trial + 1}/"
+                f"{config.trials} system={system_name}"
+            )
+        system = build_system(system_name, root.scope(system_name), config, seed)
+        insert_started = perf_counter()
+        insert_hops = [system.insert(event).hops for event in events]
+        insert_seconds = perf_counter() - insert_started
+        mean_insert = (
+            sum(insert_hops) / len(insert_hops) if insert_hops else 0.0
+        )
+        for workload_label, queries in query_sets:
+            cell = samples.setdefault(
+                (workload_label, system_name), _CellSamples()
+            )
+            cell.insert_hops.append(mean_insert)
+            cell.build_s.append(build_seconds)
+            cell.insert_s.append(insert_seconds)
+            query_started = perf_counter()
+            for query in queries:
+                result = system.query(sink, query)
+                cell.costs.append(result.total_cost)
+                cell.forwards.append(result.forward_cost)
+                cell.replies.append(result.reply_cost)
+                cell.matches.append(result.match_count)
+                cell.visited.append(len(result.visited_nodes))
+                cell.depths.append(result.depth_hops)
+            cell.query_s.append(perf_counter() - query_started)
+    return samples
+
+
+def _run_cell_task(
+    args: tuple[ExperimentConfig, int, int, int],
+) -> dict[tuple[str, str], _CellSamples]:
+    """Process-pool entry point (single-argument for ``submit``)."""
+    config, seed, size, trial = args
+    return _run_cell(config, seed, size, trial)
 
 
 def run_experiment(
     config: ExperimentConfig,
     *,
     seed: int = 0,
+    jobs: int = 1,
     progress: ProgressFn | None = None,
 ) -> ExperimentResult:
     """Run ``config`` and return aggregated rows.
 
-    Deterministic for a fixed ``seed``.  ``progress`` (if given) receives
-    one human-readable line per (size, trial, system) step.
+    Deterministic for a fixed ``seed`` *regardless of* ``jobs``: the
+    (size, trial) cells are independent, and the merge happens in fixed
+    cell order, so ``jobs=4`` emits exactly the rows of ``jobs=1`` (only
+    the wall-clock timing fields differ).  ``progress`` (if given)
+    receives one human-readable line per (size, trial, system) step in
+    serial mode, or one per completed cell in parallel mode.
     """
-    samples: dict[tuple[int, str, str], _CellSamples] = {}
-    for size in config.network_sizes:
-        for trial in range(config.trials):
-            topology = deploy_uniform(
-                size,
-                radio_range=config.radio_range,
-                target_degree=config.target_degree,
-                seed=derive(seed, "topology", size, trial),
-            )
-            sink = _sink_node(topology)
-            events = config.event_workload.generate(
-                config.events_per_node * size,
-                seed=derive(seed, "events", size, trial),
-                sources=list(topology),
-            )
-            query_sets = [
-                (
-                    workload.describe(),
-                    workload.generate(
-                        config.query_count,
-                        seed=derive(seed, "queries", size, trial, wi),
-                    ),
-                )
-                for wi, workload in enumerate(config.query_workloads)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    cells = [
+        (size, trial)
+        for size in config.network_sizes
+        for trial in range(config.trials)
+    ]
+    if jobs == 1:
+        cell_results = [
+            _run_cell(config, seed, size, trial, progress)
+            for size, trial in cells
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_run_cell_task, (config, seed, size, trial))
+                for size, trial in cells
             ]
-            for system_name in config.systems:
+            cell_results = []
+            for (size, trial), future in zip(cells, futures):
+                cell_results.append(future.result())
                 if progress is not None:
                     progress(
                         f"[{config.name}] n={size} trial={trial + 1}/"
-                        f"{config.trials} system={system_name}"
+                        f"{config.trials} done"
                     )
-                network = Network(topology)
-                system = build_system(system_name, network, config, seed)
-                insert_hops = [
-                    system.insert(event).hops for event in events
-                ]
-                mean_insert = (
-                    sum(insert_hops) / len(insert_hops) if insert_hops else 0.0
-                )
-                for workload_label, queries in query_sets:
-                    cell = samples.setdefault(
-                        (size, workload_label, system_name), _CellSamples()
-                    )
-                    cell.insert_hops.append(mean_insert)
-                    for query in queries:
-                        result = system.query(sink, query)
-                        cell.costs.append(result.total_cost)
-                        cell.forwards.append(result.forward_cost)
-                        cell.replies.append(result.reply_cost)
-                        cell.matches.append(result.match_count)
-                        cell.visited.append(len(result.visited_nodes))
-                        cell.depths.append(result.depth_hops)
+    samples: dict[tuple[int, str, str], _CellSamples] = {}
+    for (size, _trial), cell_result in zip(cells, cell_results):
+        for (workload_label, system_name), cell in cell_result.items():
+            samples.setdefault(
+                (size, workload_label, system_name), _CellSamples()
+            ).merge(cell)
     rows = []
     for size in config.network_sizes:
         for workload in config.query_workloads:
@@ -272,6 +394,9 @@ def run_experiment(
                         mean_insert_hops=statistics.fmean(cell.insert_hops),
                         mean_visited_nodes=statistics.fmean(cell.visited),
                         mean_depth_hops=statistics.fmean(cell.depths),
+                        build_seconds=statistics.fmean(cell.build_s),
+                        insert_seconds=statistics.fmean(cell.insert_s),
+                        query_seconds=statistics.fmean(cell.query_s),
                     )
                 )
     return ExperimentResult(

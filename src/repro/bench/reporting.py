@@ -124,6 +124,14 @@ def render_result(result: ExperimentResult) -> str:
     return "\n\n".join(parts)
 
 
-def to_json(results: Sequence[ExperimentResult]) -> str:
-    """JSON export of one or more results (for EXPERIMENTS.md tooling)."""
-    return json.dumps([r.as_dict() for r in results], indent=2)
+def to_json(
+    results: Sequence[ExperimentResult], *, include_timings: bool = True
+) -> str:
+    """JSON export of one or more results (for EXPERIMENTS.md tooling).
+
+    ``include_timings=False`` omits the per-row wall-clock sub-objects,
+    producing byte-identical exports across runs of the same seed.
+    """
+    return json.dumps(
+        [r.as_dict(include_timings=include_timings) for r in results], indent=2
+    )

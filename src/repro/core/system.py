@@ -112,7 +112,9 @@ class PoolSystem:
     ) -> None:
         if dimensions < 1:
             raise ConfigurationError(f"dimensions must be >= 1, got {dimensions}")
-        self.network = network
+        # Own ledger scope over the (possibly shared) deployment: sibling
+        # systems on the same facade never see this system's traffic.
+        self.network = network.scope("pool")
         self.dimensions = dimensions
         self.side_length = side_length
         self.sharing = sharing or SharingPolicy()

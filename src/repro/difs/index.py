@@ -103,12 +103,12 @@ class DifsIndex:
             raise ConfigurationError(f"branching must be >= 2, got {branching}")
         if depth < 1:
             raise ConfigurationError(f"depth must be >= 1, got {depth}")
-        self.network = network
+        self.network = network.scope("difs")
         self.dimensions = dimensions
         self.attribute = attribute
         self.branching = branching
         self.depth = depth
-        self._ght = GeographicHashTable(network, salt="difs")
+        self._ght = GeographicHashTable(self.network, salt="difs")
         self._storage: dict[tuple[float, float], list[Event]] = {}
         self._event_count = 0
 

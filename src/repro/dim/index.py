@@ -49,7 +49,7 @@ class DimIndex:
     """
 
     def __init__(self, network: Network, dimensions: int) -> None:
-        self.network = network
+        self.network = network.scope("dim")
         self.dimensions = dimensions
         self.tree = ZoneTree(network.topology, dimensions)
         # Events stored per leaf zone code (a physical node may own

@@ -57,7 +57,7 @@ class GeographicHashTable:
     """
 
     def __init__(self, network: Network, *, salt: str = "ght") -> None:
-        self.network = network
+        self.network = network.scope(salt)
         self.salt = salt
         # Physical store: home node id -> key -> values.  Nodes only ever
         # read their own bucket; the dict is just the simulator's memory.

@@ -8,10 +8,14 @@
 * :mod:`repro.network.node` — per-node runtime state for the simulator.
 * :mod:`repro.network.simulator` — a small discrete-event kernel with a
   beacon protocol that builds neighbor tables the way real nodes would.
+* :mod:`repro.network.deployment` — the shared immutable
+  :class:`Deployment` (topology + planarization + route cache) all
+  systems of an experiment cell run against.
 * :mod:`repro.network.network` — the :class:`Network` facade the storage
   systems (Pool, DIM, GHT) program against.
 """
 
+from repro.network.deployment import Deployment
 from repro.network.messages import Message, MessageCategory
 from repro.network.radio import EnergyModel, MessageStats
 from repro.network.topology import Topology, deploy_grid, deploy_uniform
@@ -26,6 +30,7 @@ __all__ = [
     "Topology",
     "deploy_uniform",
     "deploy_grid",
+    "Deployment",
     "Network",
     "Simulator",
     "SimNode",

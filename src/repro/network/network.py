@@ -1,9 +1,9 @@
 """The :class:`Network` facade the storage systems program against.
 
-It bundles a :class:`~repro.network.topology.Topology`, a
-:class:`~repro.routing.gpsr.GPSRRouter` and one shared
-:class:`~repro.network.radio.MessageStats` ledger, and exposes the handful
-of communication primitives Pool, DIM and GHT need:
+It exposes a shared :class:`~repro.network.deployment.Deployment`
+(topology + planarization + GPSR route cache) together with one
+:class:`~repro.network.radio.MessageStats` ledger scope, and offers the
+handful of communication primitives Pool, DIM and GHT need:
 
 * :meth:`unicast` / :meth:`unicast_to_point` — one logical message, hop
   count recorded under a category;
@@ -11,15 +11,22 @@ of communication primitives Pool, DIM and GHT need:
   dissemination cost;
 * :meth:`reply_up_tree` — record the aggregated reply traffic of a tree.
 
-Keeping all accounting behind one object means an experiment can reset the
-ledger, run a phase, and read exactly the paper's metric.
+Several facades can share one deployment: :meth:`scope` returns a sibling
+facade over the same topology and route cache whose ledger is an
+independent child scope, which is how the benchmark harness runs every
+system of an experiment cell against one deployment without any
+accounting bleeding between them (the parent facade's ledger still reads
+as the aggregate).  Failures are per-facade: :meth:`fail_nodes` swaps in
+a *derived* deployment, leaving siblings routing over the healthy field.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.exceptions import ConfigurationError
 from repro.geometry import Point
+from repro.network.deployment import Deployment
 from repro.network.radio import EnergyModel, MessageStats
 from repro.network.messages import MessageCategory
 from repro.network.topology import Topology
@@ -31,29 +38,76 @@ __all__ = ["Network"]
 
 
 class Network:
-    """Topology + routing + accounting, as one object.
+    """Deployment + accounting scope, as one object.
 
     Parameters
     ----------
     topology:
-        The deployed sensor field.
+        The deployed sensor field; a private :class:`Deployment` is built
+        around it.  Mutually exclusive with ``deployment``.
+    deployment:
+        An existing (typically shared) deployment to run over.
     planarization:
-        Planar subgraph for GPSR perimeter mode.
+        Planar subgraph for GPSR perimeter mode (only used when building
+        a private deployment from ``topology``).
     energy_model:
         Interprets the message ledger as battery drain; optional.
+    stats:
+        The ledger scope to record into; a fresh root ledger by default.
     """
 
     def __init__(
         self,
-        topology: Topology,
+        topology: Topology | None = None,
         *,
+        deployment: Deployment | None = None,
         planarization: PlanarizationKind = "gabriel",
         energy_model: EnergyModel | None = None,
+        stats: MessageStats | None = None,
     ) -> None:
-        self.topology = topology
-        self.router = GPSRRouter(topology, planarization=planarization)
-        self.stats = MessageStats()
+        if (topology is None) == (deployment is None):
+            raise ConfigurationError(
+                "pass exactly one of topology= or deployment="
+            )
+        if deployment is None:
+            assert topology is not None
+            deployment = Deployment(topology, planarization=planarization)
+        self._deployment = deployment
+        self.stats = stats if stats is not None else MessageStats()
         self.energy_model = energy_model or EnergyModel()
+
+    # ------------------------------------------------------------------ #
+    # Deployment access                                                  #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def deployment(self) -> Deployment:
+        """The (possibly shared) deployment this facade routes over."""
+        return self._deployment
+
+    @property
+    def topology(self) -> Topology:
+        """The deployed sensor field."""
+        return self._deployment.topology
+
+    @property
+    def router(self) -> GPSRRouter:
+        """The shared GPSR router (route cache included)."""
+        return self._deployment.router
+
+    def scope(self, label: str | None = None) -> "Network":
+        """A sibling facade: same deployment, independent ledger scope.
+
+        Storage systems call this at construction so each one measures
+        its own traffic while sharing the deployment's topology,
+        planarization and warmed route cache.  The receiver's ledger
+        keeps aggregating everything recorded in the scopes below it.
+        """
+        return Network(
+            deployment=self._deployment,
+            energy_model=self.energy_model,
+            stats=self.stats.scope(label),
+        )
 
     # ------------------------------------------------------------------ #
     # Topology passthroughs                                              #
@@ -77,19 +131,20 @@ class Network:
     # ------------------------------------------------------------------ #
 
     def fail_nodes(self, nodes: Sequence[int]) -> None:
-        """Remove ``nodes`` from the radio graph in place.
+        """Remove ``nodes`` from this facade's radio graph.
 
-        The message ledger and energy model survive; the router is
-        rebuilt over the degraded topology so subsequent traffic routes
-        around the failures (GPSR's perimeter mode handles the holes).
-        Storage systems holding this facade should call their own
-        failure handler afterwards to re-elect roles and recover data
-        (e.g. :meth:`repro.core.system.PoolSystem.handle_failures`).
+        The facade swaps to a *derived* deployment: cached GPSR paths
+        through the dead nodes are evicted (survivor-to-survivor paths
+        stay warm), the planarization of the surviving subgraph is
+        repaired incrementally, and sibling facades sharing the original
+        deployment are untouched.  The message ledger and energy model
+        survive; subsequent traffic routes around the failures (GPSR's
+        perimeter mode handles the holes).  Storage systems holding this
+        facade should call their own failure handler afterwards to
+        re-elect roles and recover data (e.g.
+        :meth:`repro.core.system.PoolSystem.handle_failures`).
         """
-        self.topology = self.topology.without(tuple(nodes))
-        self.router = GPSRRouter(
-            self.topology, planarization=self.router.planarization_kind
-        )
+        self._deployment = self._deployment.fail_nodes(tuple(nodes))
 
     @property
     def failed_nodes(self) -> frozenset[int]:

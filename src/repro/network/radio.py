@@ -1,9 +1,16 @@
 """Radio-level accounting: message counters and the energy model.
 
-:class:`MessageStats` is the single source of truth for the paper's cost
-metric.  Every layer that causes a transmission (routing, forwarding trees,
-workload sharing) reports into one shared instance owned by the
+:class:`MessageStats` is the source of truth for the paper's cost metric.
+Every layer that causes a transmission (routing, forwarding trees,
+workload sharing) reports into the ledger owned by its
 :class:`~repro.network.network.Network` facade.
+
+Ledgers are *scoped*: :meth:`MessageStats.scope` hands out an independent
+child recorder.  Each storage system records into its own scope, so
+several systems can run against one shared deployment without resetting a
+shared ledger between measured phases, while a parent ledger still reads
+as the aggregate of everything recorded beneath it (reads sum lazily over
+the scope tree; the hot recording path touches only the local scope).
 """
 
 from __future__ import annotations
@@ -18,22 +25,43 @@ __all__ = ["MessageStats", "EnergyModel"]
 
 
 class MessageStats:
-    """Per-category transmission counters.
+    """Per-category transmission counters, arranged in scopes.
 
     A "message" here is one one-hop radio transmission, matching the unit
     on the y-axis of the paper's Figures 6 and 7.
+
+    Recording is always local to this scope; every read (``count``,
+    ``total``, ``snapshot``, the per-node views) aggregates this scope
+    plus all scopes obtained from it, so a facade-level ledger keeps
+    reporting whole-deployment totals while each system reads exactly its
+    own traffic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, label: str | None = None) -> None:
+        self.label = label
         self._counts: Counter[MessageCategory] = Counter()
         self._per_node_tx: Counter[int] = Counter()
         self._per_node_rx: Counter[int] = Counter()
+        self._scopes: list[MessageStats] = []
         self._tracer = None  # optional MessageTracer
 
-    def attach_tracer(self, tracer) -> None:
-        """Mirror every recorded transmission into ``tracer``.
+    def scope(self, label: str | None = None) -> "MessageStats":
+        """An independent child ledger aggregated into this one on reads.
 
-        Pass ``None`` to detach.  See :mod:`repro.network.trace`.
+        This replaces the old reset-the-shared-ledger dance: a system
+        records into its own scope and measures phases with
+        :meth:`checkpoint`/:meth:`delta` or :meth:`reset` without
+        disturbing any sibling system sharing the deployment.
+        """
+        child = MessageStats(label=label)
+        self._scopes.append(child)
+        return child
+
+    def attach_tracer(self, tracer) -> None:
+        """Mirror every transmission recorded *in this scope* into ``tracer``.
+
+        Pass ``None`` to detach.  See :mod:`repro.network.trace`.  Child
+        scopes carry their own tracers.
         """
         self._tracer = tracer
 
@@ -75,64 +103,79 @@ class MessageStats:
             previous = node
 
     # ------------------------------------------------------------------ #
-    # Reading                                                            #
+    # Reading (aggregates over this scope and all scopes below it)       #
     # ------------------------------------------------------------------ #
 
     def count(self, category: MessageCategory) -> int:
         """Transmissions recorded in one category."""
-        return self._counts[category]
+        return self._counts[category] + sum(
+            child.count(category) for child in self._scopes
+        )
 
     @property
     def total(self) -> int:
         """Transmissions across all categories."""
-        return sum(self._counts.values())
+        return sum(self._counts.values()) + sum(
+            child.total for child in self._scopes
+        )
 
     def query_cost(self) -> int:
         """The paper's query-processing cost: forward + reply messages."""
-        return (
-            self._counts[MessageCategory.QUERY_FORWARD]
-            + self._counts[MessageCategory.QUERY_REPLY]
+        return self.count(MessageCategory.QUERY_FORWARD) + self.count(
+            MessageCategory.QUERY_REPLY
         )
 
     def snapshot(self) -> dict[str, int]:
         """Immutable view of all counters, keyed by category value."""
-        return {category.value: self._counts[category] for category in MessageCategory}
+        return {category.value: self.count(category) for category in MessageCategory}
 
     def per_node_transmissions(self) -> Mapping[int, int]:
         """Read-only view of transmissions by sending node."""
-        return dict(self._per_node_tx)
+        merged = Counter(self._per_node_tx)
+        for child in self._scopes:
+            merged.update(child.per_node_transmissions())
+        return dict(merged)
 
     def per_node_receptions(self) -> Mapping[int, int]:
         """Read-only view of receptions by receiving node."""
-        return dict(self._per_node_rx)
+        merged = Counter(self._per_node_rx)
+        for child in self._scopes:
+            merged.update(child.per_node_receptions())
+        return dict(merged)
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                          #
     # ------------------------------------------------------------------ #
 
     def reset(self) -> None:
-        """Zero every counter (start of a measured phase)."""
+        """Zero every counter in this scope and all scopes below it."""
         self._counts.clear()
         self._per_node_tx.clear()
         self._per_node_rx.clear()
+        for child in self._scopes:
+            child.reset()
 
     def checkpoint(self) -> "StatsCheckpoint":
         """Capture current counters; subtract later with ``delta()``."""
-        return StatsCheckpoint(dict(self._counts))
+        return StatsCheckpoint(
+            {category: self.count(category) for category in MessageCategory}
+        )
 
     def delta(self, checkpoint: "StatsCheckpoint") -> dict[str, int]:
         """Per-category transmissions since ``checkpoint``."""
         return {
-            category.value: self._counts[category]
+            category.value: self.count(category)
             - checkpoint.counts.get(category, 0)
             for category in MessageCategory
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(
-            f"{category.value}={count}" for category, count in self._counts.items()
+            f"{category.value}={count}"
+            for category, count in self._counts.items()
         )
-        return f"MessageStats({parts})"
+        scoped = f", scopes={len(self._scopes)}" if self._scopes else ""
+        return f"MessageStats({parts}{scoped})"
 
 
 @dataclass(frozen=True, slots=True)

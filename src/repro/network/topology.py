@@ -20,6 +20,7 @@ from scipy.spatial import cKDTree
 
 from repro.exceptions import ConfigurationError, TopologyError
 from repro.geometry import Point, Rect
+from repro.network.instrumentation import CONSTRUCTION_COUNTERS
 from repro.rng import SeedLike, ensure_generator
 
 __all__ = ["Topology", "deploy_uniform", "deploy_grid"]
@@ -242,6 +243,7 @@ def deploy_uniform(
     """
     if n < 1:
         raise ConfigurationError(f"n must be >= 1, got {n}")
+    CONSTRUCTION_COUNTERS.topology_deployments += 1
     rng = ensure_generator(seed)
     side = field_side_for_degree(n, radio_range, target_degree)
     field = Rect(0.0, 0.0, side, side)

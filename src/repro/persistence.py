@@ -129,6 +129,7 @@ def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
     """Rebuild an :class:`ExperimentResult` from ``as_dict()`` output."""
     rows = []
     for row in payload["rows"]:
+        timings = row.get("timings", {})
         rows.append(
             ResultRow(
                 size=int(row["size"]),
@@ -144,6 +145,9 @@ def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
                 mean_insert_hops=float(row["mean_insert_hops"]),
                 mean_visited_nodes=float(row["mean_visited_nodes"]),
                 mean_depth_hops=float(row.get("mean_depth_hops", 0.0)),
+                build_seconds=float(timings.get("build_seconds", 0.0)),
+                insert_seconds=float(timings.get("insert_seconds", 0.0)),
+                query_seconds=float(timings.get("query_seconds", 0.0)),
             )
         )
     return ExperimentResult(

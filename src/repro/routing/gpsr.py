@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Iterable, Literal
 
 from repro.exceptions import ConfigurationError, DeliveryError, RoutingError
 from repro.geometry import (
@@ -34,7 +34,11 @@ from repro.geometry import (
     segment_intersection_point,
 )
 from repro.network.topology import Topology
-from repro.routing.planarization import PlanarizationKind, planarize
+from repro.routing.planarization import (
+    PlanarizationKind,
+    planarize,
+    update_after_failures,
+)
 
 __all__ = ["GPSRRouter", "RouteResult"]
 
@@ -112,6 +116,7 @@ class GPSRRouter:
             raise ConfigurationError(f"ttl_factor must be >= 1, got {ttl_factor}")
         self.topology = topology
         self.planarization_kind = planarization
+        self.ttl_factor = ttl_factor
         self.ttl = ttl_factor * topology.size + 16
         self._planar: list[tuple[int, ...]] | None = None
         self._path_cache: dict[tuple[int, int], list[int]] = {}
@@ -126,6 +131,45 @@ class GPSRRouter:
         if self._planar is None:
             self._planar = planarize(self.topology, self.planarization_kind)
         return self._planar
+
+    @property
+    def cached_paths(self) -> int:
+        """Number of memoized node-to-node paths (cache-reuse metric)."""
+        return len(self._path_cache)
+
+    def without_nodes(self, failed: Iterable[int]) -> "GPSRRouter":
+        """A router over the topology with ``failed`` nodes removed.
+
+        This is the cheap failure path: instead of discarding all routing
+        state, the derived router
+
+        * keeps every cached path that does not traverse a failed node
+          (paths between survivors stay valid — the forwarding decisions
+          that produced them never consulted the dead nodes), and
+        * repairs the planarization incrementally via
+          :func:`repro.routing.planarization.update_after_failures`
+          rather than re-planarizing the whole field, when the planar
+          adjacency had already been built.
+
+        The receiver is left untouched, so deployments sharing it are
+        unaffected (copy-on-write failure semantics).
+        """
+        failed_set = frozenset(int(n) for n in failed)
+        clone = GPSRRouter(
+            self.topology.without(failed_set),
+            planarization=self.planarization_kind,
+            ttl_factor=self.ttl_factor,
+        )
+        clone._path_cache = {
+            key: path
+            for key, path in self._path_cache.items()
+            if failed_set.isdisjoint(path)
+        }
+        if self._planar is not None:
+            clone._planar = update_after_failures(
+                self._planar, clone.topology, failed_set, self.planarization_kind
+            )
+        return clone
 
     def path(self, src: int, dst: int) -> list[int]:
         """Node path from ``src`` to ``dst``; raises on delivery failure.

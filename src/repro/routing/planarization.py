@@ -11,86 +11,108 @@ paper are provided:
 
 Both constructions famously preserve connectivity of the unit-disk graph,
 which the test suite verifies on random deployments.
+
+Node failures never *remove* a kept edge (witnesses only disappear), so
+:func:`update_after_failures` repairs an existing planarization instead
+of rebuilding it: only edges whose endpoints both sit within radio range
+of a failed node can change status, because any witness of an edge lies
+inside the edge's disk/lune and hence within one radio range of both
+endpoints.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Iterable, Literal
 
 from repro.exceptions import ConfigurationError
 from repro.geometry import distance_sq, midpoint
+from repro.network.instrumentation import CONSTRUCTION_COUNTERS
 from repro.network.topology import Topology
 
-__all__ = ["gabriel_graph", "rng_graph", "planarize", "PlanarizationKind"]
+__all__ = [
+    "gabriel_graph",
+    "rng_graph",
+    "planarize",
+    "update_after_failures",
+    "PlanarizationKind",
+]
 
 PlanarizationKind = Literal["gabriel", "rng", "none"]
 
 
-def gabriel_graph(topology: Topology) -> list[tuple[int, ...]]:
-    """Gabriel subgraph of the radio graph, as per-node adjacency tuples.
+def _gabriel_keeps(topology: Topology, u: int, v: int) -> bool:
+    """Whether edge ``(u, v)`` survives Gabriel planarization.
 
-    An edge ``(u, v)`` survives iff no other node lies strictly inside the
+    The edge survives iff no other alive node lies strictly inside the
     circle having ``uv`` as diameter.  Witness candidates are found with a
-    KD-tree ball query around the edge midpoint, so construction is
-    ``O(E * witnesses)`` instead of ``O(E * N)``.
+    KD-tree ball query around the edge midpoint, so one test costs
+    ``O(witnesses)`` instead of ``O(N)``.
     """
     positions = topology.positions
+    pu, pv = positions[u], positions[v]
+    mid = midpoint(pu, pv)
+    radius_sq = distance_sq(pu, pv) / 4.0
+    # query_ball_point uses closed balls; shrink epsilon handled by the
+    # strict comparison below.
     tree = topology._tree  # shared KD-tree; read-only use
-    kept: list[list[int]] = [[] for _ in range(topology.size)]
-    for u in range(topology.size):
-        pu = positions[u]
-        for v in topology.neighbors(u):
-            if v <= u:
-                continue
-            pv = positions[v]
-            mid = midpoint(pu, pv)
-            radius_sq = distance_sq(pu, pv) / 4.0
-            # query_ball_point uses closed balls; shrink epsilon handled by
-            # the strict comparison below.
-            candidates = tree.query_ball_point(list(mid), radius_sq**0.5 + 1e-9)
-            blocked = False
-            for w in candidates:
-                if w == u or w == v or not topology.is_alive(int(w)):
-                    continue
-                if distance_sq(positions[w], mid) < radius_sq - 1e-12:
-                    blocked = True
-                    break
-            if not blocked:
-                kept[u].append(v)
-                kept[v].append(u)
-    return [tuple(sorted(adj)) for adj in kept]
+    for w in tree.query_ball_point(list(mid), radius_sq**0.5 + 1e-9):
+        if w == u or w == v or not topology.is_alive(int(w)):
+            continue
+        if distance_sq(positions[w], mid) < radius_sq - 1e-12:
+            return False
+    return True
 
 
-def rng_graph(topology: Topology) -> list[tuple[int, ...]]:
-    """Relative-neighborhood subgraph of the radio graph.
+def _rng_keeps(topology: Topology, u: int, v: int) -> bool:
+    """Whether edge ``(u, v)`` survives RNG planarization.
 
-    Edge ``(u, v)`` survives iff there is no witness ``w`` closer to both
+    The edge survives iff there is no alive witness ``w`` closer to both
     endpoints than they are to each other (the "lune" is empty).
     """
     positions = topology.positions
+    pu, pv = positions[u], positions[v]
+    d_uv_sq = distance_sq(pu, pv)
+    # Any lune witness lies within d(u, v) of u.
     tree = topology._tree
+    for w in tree.query_ball_point(list(pu), d_uv_sq**0.5 + 1e-9):
+        if w == u or w == v or not topology.is_alive(int(w)):
+            continue
+        pw = positions[w]
+        if (
+            distance_sq(pu, pw) < d_uv_sq - 1e-12
+            and distance_sq(pv, pw) < d_uv_sq - 1e-12
+        ):
+            return False
+    return True
+
+
+def _edge_keeps(topology: Topology, u: int, v: int, kind: PlanarizationKind) -> bool:
+    if kind == "gabriel":
+        return _gabriel_keeps(topology, u, v)
+    if kind == "rng":
+        return _rng_keeps(topology, u, v)
+    if kind == "none":
+        return True
+    raise ConfigurationError(f"unknown planarization {kind!r}")
+
+
+def gabriel_graph(topology: Topology) -> list[tuple[int, ...]]:
+    """Gabriel subgraph of the radio graph, as per-node adjacency tuples."""
+    return _build(topology, "gabriel")
+
+
+def rng_graph(topology: Topology) -> list[tuple[int, ...]]:
+    """Relative-neighborhood subgraph of the radio graph."""
+    return _build(topology, "rng")
+
+
+def _build(topology: Topology, kind: PlanarizationKind) -> list[tuple[int, ...]]:
     kept: list[list[int]] = [[] for _ in range(topology.size)]
     for u in range(topology.size):
-        pu = positions[u]
         for v in topology.neighbors(u):
             if v <= u:
                 continue
-            pv = positions[v]
-            d_uv_sq = distance_sq(pu, pv)
-            # Any lune witness lies within d(u, v) of u.
-            candidates = tree.query_ball_point(list(pu), d_uv_sq**0.5 + 1e-9)
-            blocked = False
-            for w in candidates:
-                if w == u or w == v or not topology.is_alive(int(w)):
-                    continue
-                pw = positions[w]
-                if (
-                    distance_sq(pu, pw) < d_uv_sq - 1e-12
-                    and distance_sq(pv, pw) < d_uv_sq - 1e-12
-                ):
-                    blocked = True
-                    break
-            if not blocked:
+            if _edge_keeps(topology, u, v, kind):
                 kept[u].append(v)
                 kept[v].append(u)
     return [tuple(sorted(adj)) for adj in kept]
@@ -104,10 +126,62 @@ def planarize(
     ``"none"`` returns the full radio adjacency — useful for measuring how
     often perimeter mode would need planarity at all.
     """
-    if kind == "gabriel":
-        return gabriel_graph(topology)
-    if kind == "rng":
-        return rng_graph(topology)
+    if kind not in ("gabriel", "rng", "none"):
+        raise ConfigurationError(f"unknown planarization {kind!r}")
+    CONSTRUCTION_COUNTERS.planarizations += 1
     if kind == "none":
         return list(topology.neighbor_table)
-    raise ConfigurationError(f"unknown planarization {kind!r}")
+    return _build(topology, kind)
+
+
+def update_after_failures(
+    old_adjacency: list[tuple[int, ...]],
+    new_topology: Topology,
+    failed: Iterable[int],
+    kind: PlanarizationKind = "gabriel",
+) -> list[tuple[int, ...]]:
+    """Repair a planarization after ``failed`` nodes left the radio graph.
+
+    ``old_adjacency`` is the planar adjacency of the topology *before* the
+    failure; ``new_topology`` is the degraded topology (same node ids,
+    ``failed`` excluded).  Returns adjacency identical to a full
+    ``planarize(new_topology, kind)`` but touching only the affected
+    neighborhood:
+
+    * rows of failed nodes empty out, and failed ids leave every row;
+    * kept edges between survivors stay kept (a failure only removes
+      witnesses, never adds them);
+    * previously blocked edges can resurface only when a failed node was
+      their witness — and every witness of an edge lies within one radio
+      range of *both* endpoints, so only nodes within radio range of a
+      failed node need their rows re-derived.
+    """
+    failed_set = frozenset(int(n) for n in failed)
+    if kind == "none":
+        return list(new_topology.neighbor_table)
+    CONSTRUCTION_COUNTERS.planar_updates += 1
+    positions = new_topology.positions
+    affected: set[int] = set()
+    for w in failed_set:
+        x, y = positions[w]
+        affected.update(
+            new_topology.nodes_within((float(x), float(y)), new_topology.radio_range)
+        )
+    rows: list[tuple[int, ...]] = [
+        ()
+        if not new_topology.is_alive(u)
+        else tuple(v for v in old_adjacency[u] if v not in failed_set)
+        for u in range(new_topology.size)
+    ]
+    recomputed: dict[int, tuple[int, ...]] = {}
+    for u in affected:
+        recomputed[u] = tuple(
+            sorted(
+                v
+                for v in new_topology.neighbors(u)
+                if _edge_keeps(new_topology, u, v, kind)
+            )
+        )
+    for u, row in recomputed.items():
+        rows[u] = row
+    return rows

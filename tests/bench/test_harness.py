@@ -10,7 +10,6 @@ from repro.core.system import PoolSystem
 from repro.dim.index import DimIndex
 from repro.events.generators import QueryWorkload
 from repro.exceptions import ConfigurationError
-from repro.network.network import Network
 
 
 def _tiny_config(**overrides) -> ExperimentConfig:
@@ -90,7 +89,24 @@ class TestRunExperiment:
     def test_deterministic_for_seed(self):
         a = run_experiment(_tiny_config(), seed=3)
         b = run_experiment(_tiny_config(), seed=3)
-        assert [r.as_dict() for r in a.rows] == [r.as_dict() for r in b.rows]
+        # Wall-clock timings legitimately differ between runs; everything
+        # else must be bit-identical.
+        assert [r.as_dict(include_timings=False) for r in a.rows] == [
+            r.as_dict(include_timings=False) for r in b.rows
+        ]
+
+    def test_timings_recorded(self, result):
+        for row in result.rows:
+            assert row.build_seconds > 0
+            assert row.insert_seconds > 0
+            assert row.query_seconds > 0
+            payload = row.as_dict()
+            assert set(payload["timings"]) == {
+                "build_seconds",
+                "insert_seconds",
+                "query_seconds",
+            }
+            assert "timings" not in row.as_dict(include_timings=False)
 
     def test_different_seed_differs(self):
         a = run_experiment(_tiny_config(), seed=3)

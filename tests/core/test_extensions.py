@@ -18,7 +18,6 @@ from repro.exceptions import (
     QueryError,
     ValidationError,
 )
-from repro.network.messages import MessageCategory
 from repro.network.network import Network
 
 

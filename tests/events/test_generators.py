@@ -13,7 +13,6 @@ from repro.events.generators import (
     make_matcher,
     partial_match_queries,
 )
-from repro.events.queries import FULL_RANGE
 from repro.exceptions import ConfigurationError
 
 

@@ -7,7 +7,6 @@ import pytest
 from repro.exceptions import QueryError
 from repro.ght.ght import GeographicHashTable
 from repro.network.messages import MessageCategory
-from repro.network.network import Network
 
 
 @pytest.fixture

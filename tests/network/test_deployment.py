@@ -1,0 +1,128 @@
+"""Tests for the shared Deployment layer and its failure semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.deployment import Deployment
+from repro.network.messages import MessageCategory
+from repro.network.instrumentation import CONSTRUCTION_COUNTERS
+from repro.network.network import Network
+from repro.network.topology import deploy_uniform
+from repro.routing.gpsr import GPSRRouter
+from repro.routing.planarization import planarize, update_after_failures
+
+
+@pytest.fixture(scope="module")
+def deployment() -> Deployment:
+    return Deployment.deploy(300, seed=11)
+
+
+class TestDeployment:
+    def test_deploy_bundles_topology_and_router(self, deployment):
+        assert deployment.size == 300
+        assert deployment.router.topology is deployment.topology
+        assert deployment.planarization == "gabriel"
+        assert deployment.failed_nodes == frozenset()
+
+    def test_wraps_existing_topology(self, topo300):
+        wrapped = Deployment(topo300, planarization="rng")
+        assert wrapped.topology is topo300
+        assert wrapped.router.planarization_kind == "rng"
+
+    def test_route_cache_shared_across_facades(self, deployment):
+        net_a = Network(deployment=deployment).scope("a")
+        net_b = Network(deployment=deployment).scope("b")
+        before = deployment.router.cached_paths
+        net_a.unicast(MessageCategory.INSERT, 0, 200)
+        warmed = deployment.router.cached_paths
+        assert warmed > before
+        # The second facade reuses the warm cache instead of re-routing.
+        net_b.unicast(MessageCategory.INSERT, 0, 200)
+        assert deployment.router.cached_paths == warmed
+
+    def test_counts_one_topology_build(self):
+        CONSTRUCTION_COUNTERS.reset()
+        Deployment.deploy(120, seed=5)
+        assert CONSTRUCTION_COUNTERS.topology_deployments == 1
+
+    def test_network_requires_exactly_one_substrate(self, topo300, deployment):
+        with pytest.raises(ConfigurationError):
+            Network()
+        with pytest.raises(ConfigurationError):
+            Network(topo300, deployment=deployment)
+
+
+class TestFailNodes:
+    def test_derivation_leaves_parent_untouched(self, deployment):
+        failed = {5, 6, 7}
+        degraded = deployment.fail_nodes(failed)
+        assert degraded is not deployment
+        assert degraded.failed_nodes == frozenset(failed)
+        assert deployment.failed_nodes == frozenset()
+        for node in failed:
+            assert deployment.topology.is_alive(node)
+            assert not degraded.topology.is_alive(node)
+
+    def test_surviving_cached_paths_are_kept(self):
+        deployment = Deployment.deploy(300, seed=12)
+        router = deployment.router
+        clean = router.path(0, 250)
+        # Fail a node on that path; pick survivors well away from it.
+        victim = clean[len(clean) // 2]
+        keep_src, keep_dst = next(
+            (s, d)
+            for s in range(300)
+            for d in range(299, 0, -1)
+            if s != d and victim not in router.path(s, d)
+        )
+        kept = router.path(keep_src, keep_dst)
+        degraded = deployment.fail_nodes([victim])
+        # The surviving path is adopted verbatim (same object — no rework);
+        # the path through the victim is evicted.
+        assert degraded.router._path_cache[(keep_src, keep_dst)] is kept
+        assert (0, 250) not in degraded.router._path_cache
+        assert degraded.router.cached_paths < router.cached_paths
+
+    def test_degraded_router_avoids_failed_nodes(self):
+        deployment = Deployment.deploy(300, seed=13)
+        clean = deployment.router.path(3, 280)
+        victim = clean[len(clean) // 2]
+        degraded = deployment.fail_nodes([victim])
+        rerouted = degraded.router.path(3, 280)
+        assert victim not in rerouted
+        # Parent still routes through the now-failed node.
+        assert deployment.router.path(3, 280) == clean
+
+
+class TestIncrementalPlanarization:
+    @pytest.mark.parametrize("kind", ["gabriel", "rng"])
+    def test_matches_full_recompute(self, kind):
+        topology = deploy_uniform(300, seed=21)
+        old = planarize(topology, kind)
+        failed = frozenset({10, 42, 137, 200})
+        degraded = topology.without(failed)
+        incremental = update_after_failures(old, degraded, failed, kind)
+        assert incremental == planarize(degraded, kind)
+
+    def test_none_kind_passes_through(self):
+        topology = deploy_uniform(120, seed=22)
+        degraded = topology.without(frozenset({3}))
+        assert update_after_failures(
+            [], degraded, {3}, "none"
+        ) == list(degraded.neighbor_table)
+
+    def test_router_repair_is_incremental(self):
+        CONSTRUCTION_COUNTERS.reset()
+        topology = deploy_uniform(300, seed=23)
+        router = GPSRRouter(topology)
+        router.planar_adjacency  # force the lazy build
+        assert CONSTRUCTION_COUNTERS.planarizations == 1
+        degraded = router.without_nodes([7, 90])
+        # The derived router repaired instead of re-planarizing.
+        assert CONSTRUCTION_COUNTERS.planarizations == 1
+        assert CONSTRUCTION_COUNTERS.planar_updates == 1
+        assert degraded.planar_adjacency == planarize(
+            topology.without(frozenset({7, 90}))
+        )

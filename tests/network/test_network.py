@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.network.messages import MessageCategory
 from repro.network.network import Network

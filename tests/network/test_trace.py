@@ -7,7 +7,7 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
-from repro.network.trace import MessageTracer, TraceRecord
+from repro.network.trace import MessageTracer
 
 
 class TestTracer:

@@ -14,7 +14,7 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.network.topology import Topology, deploy_uniform
+from repro.network.topology import deploy_uniform
 from repro.routing.gpsr import GPSRRouter
 from repro.routing.planarization import gabriel_graph
 

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dcs import DataCentricStore
-from repro.difs.index import DifsIndex, _IndexRange
+from repro.difs.index import DifsIndex
 from repro.events.event import Event
 from repro.events.generators import exact_match_queries, generate_events
 from repro.events.queries import RangeQuery

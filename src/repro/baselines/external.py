@@ -66,6 +66,17 @@ class ExternalStorage:
         """Scan the warehouse; only non-warehouse sinks pay transport."""
         if query.dimensions != self.dimensions:
             raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
+        tel = self.network.telemetry
+        if tel is None:
+            return self._query_impl(sink, query)
+        with tel.span("query", phase="query", sink=sink) as span:
+            result = self._query_impl(sink, query)
+            span.add_messages(result.total_cost)
+            span.add_nodes(result.visited_nodes)
+            span.attrs["matches"] = result.match_count
+            return result
+
+    def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
         events = [event for event in self._events if query.matches(event)]
         forward_cost = 0
         reply_cost = 0
@@ -88,3 +99,10 @@ class ExternalStorage:
     def stored_events(self) -> int:
         """Total events held at the warehouse."""
         return len(self._events)
+
+    def storage_distribution(self) -> dict[int, int]:
+        """Everything piles onto the warehouse node — the point of the
+        baseline, and the worst possible hotspot profile."""
+        if not self._events:
+            return {}
+        return {self.sink: len(self._events)}

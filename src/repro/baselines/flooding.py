@@ -52,6 +52,17 @@ class LocalStorageFlooding:
         """Flood the query, collect matches from every holding node."""
         if query.dimensions != self.dimensions:
             raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
+        tel = self.network.telemetry
+        if tel is None:
+            return self._query_impl(sink, query)
+        with tel.span("query", phase="query", sink=sink) as span:
+            result = self._query_impl(sink, query)
+            span.add_messages(result.total_cost)
+            span.add_nodes(result.visited_nodes)
+            span.attrs["matches"] = result.match_count
+            return result
+
+    def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
         # Controlled flood: one broadcast per node reaches everyone.
         forward_cost = self.network.size
         self.network.stats.record(MessageCategory.QUERY_FORWARD, forward_cost)
@@ -79,3 +90,11 @@ class LocalStorageFlooding:
     def stored_events(self) -> int:
         """Total events currently stored."""
         return self._event_count
+
+    def storage_distribution(self) -> dict[int, int]:
+        """Events per node — trivially the detection distribution."""
+        return {
+            node: len(events)
+            for node, events in self._storage.items()
+            if events
+        }

@@ -10,6 +10,9 @@ Examples
     pool-bench all --json results.json  # every figure + ablations
     pool-bench abl-hotspot              # skew/hotspot table
     pool-bench abl-routing              # GPSR validation table
+
+    pool-bench fig7a --telemetry out.jsonl   # capture telemetry (JSONL)
+    pool-bench report out.jsonl              # render hotspot/energy/spans
 """
 
 from __future__ import annotations
@@ -21,7 +24,9 @@ import time
 from repro.bench.ablations import run_hotspot_ablation, run_routing_ablation
 from repro.bench.experiments import EXPERIMENTS, get_experiment
 from repro.bench.harness import run_experiment
-from repro.bench.reporting import render_result, to_json
+from repro.bench.reporting import render_result, render_telemetry, to_json
+from repro.exceptions import ValidationError
+from repro.telemetry.export import read_telemetry_jsonl, write_telemetry_jsonl
 
 __all__ = ["main", "build_parser"]
 
@@ -40,8 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment name (see 'pool-bench list'), 'all' for every "
-            "registry experiment, or one of: " + ", ".join(_SPECIAL)
+            "registry experiment, 'report' to render a telemetry JSONL "
+            "export, or one of: " + ", ".join(_SPECIAL)
         ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for 'report': path of the telemetry JSONL file to render",
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
     parser.add_argument(
@@ -67,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None, help="also write results as JSON"
     )
     parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help=(
+            "capture per-(size, trial, system) telemetry — spans, hotspot "
+            "and energy views — and write it as JSONL (schema telemetry/1); "
+            "byte-identical for any --jobs value at the same seed"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
     return parser
@@ -88,6 +110,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:12s} (special ablation runner)")
         return 0
 
+    if args.experiment == "report":
+        if not args.target:
+            print("report requires a telemetry JSONL path", file=sys.stderr)
+            return 2
+        try:
+            header, records = read_telemetry_jsonl(args.target)
+        except (OSError, ValidationError, ValueError) as error:
+            print(f"cannot read {args.target}: {error}", file=sys.stderr)
+            return 1
+        print(render_telemetry(header, records))
+        return 0
+
     if args.experiment == "abl-hotspot":
         print(run_hotspot_ablation(seed=args.seed).render())
         return 0
@@ -101,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
         names = [args.experiment]
 
     results = []
+    telemetry_records: list[dict] = []
     for name in names:
         config = get_experiment(name)
         if args.scale != 1.0:
@@ -115,16 +150,21 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             progress=None if args.quiet else _progress,
+            telemetry=args.telemetry is not None,
         )
         elapsed = time.time() - started
         print(render_result(result))
         print(f"({name} finished in {elapsed:.1f}s)\n")
         results.append(result)
+        telemetry_records.extend(result.telemetry)
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(to_json(results))
         print(f"JSON written to {args.json}", file=sys.stderr)
+    if args.telemetry:
+        write_telemetry_jsonl(args.telemetry, telemetry_records, seed=args.seed)
+        print(f"telemetry written to {args.telemetry}", file=sys.stderr)
     return 0
 
 

@@ -43,6 +43,8 @@ from repro.network.deployment import Deployment
 from repro.network.network import Network
 from repro.network.topology import Topology
 from repro.rng import derive
+from repro.telemetry.export import collect_system_record
+from repro.telemetry.spans import SpanRecorder
 
 __all__ = ["ResultRow", "ExperimentResult", "run_experiment", "build_system"]
 
@@ -114,6 +116,11 @@ class ExperimentResult:
     title: str
     paper_claim: str
     rows: list[ResultRow] = field(default_factory=list)
+    #: Telemetry records (one per (size, trial, system) cell-slice, in
+    #: fixed cell order) when the run was launched with ``telemetry=True``;
+    #: empty otherwise.  Export with
+    #: :func:`repro.telemetry.export.write_telemetry_jsonl`.
+    telemetry: list[dict] = field(default_factory=list)
 
     def series(self, system: str, workload: str | None = None) -> list[tuple[int, float]]:
         """``(size, mean_cost)`` points for one system (and workload)."""
@@ -246,13 +253,20 @@ def _run_cell(
     size: int,
     trial: int,
     progress: ProgressFn | None = None,
-) -> dict[tuple[str, str], _CellSamples]:
+    *,
+    telemetry: bool = False,
+) -> tuple[dict[tuple[str, str], _CellSamples], list[dict]]:
     """Run one (size, trial) grid cell: every system, every workload.
 
     One deployment is built here and shared by all systems through scoped
     facades.  Top-level so the process pool can pickle it; all RNG
     streams derive from ``(seed, size, trial)``, making the result
     independent of which worker runs the cell.
+
+    With ``telemetry=True``, each system gets a
+    :class:`~repro.telemetry.spans.SpanRecorder` on its facade and the
+    second element carries one JSON-ready record per system (in
+    ``config.systems`` order — the fixed order the harness merges in).
     """
     build_started = perf_counter()
     deployment = Deployment.deploy(
@@ -280,13 +294,21 @@ def _run_cell(
         for wi, workload in enumerate(config.query_workloads)
     ]
     samples: dict[tuple[str, str], _CellSamples] = {}
+    records: list[dict] = []
     for system_name in config.systems:
         if progress is not None:
             progress(
                 f"[{config.name}] n={size} trial={trial + 1}/"
                 f"{config.trials} system={system_name}"
             )
-        system = build_system(system_name, root.scope(system_name), config, seed)
+        facade = root.scope(system_name)
+        recorder: SpanRecorder | None = None
+        if telemetry:
+            recorder = SpanRecorder(label=system_name)
+            # Set before the system scopes its own ledger off the facade
+            # so the recorder propagates to every scope below.
+            facade.telemetry = recorder
+        system = build_system(system_name, facade, config, seed)
         insert_started = perf_counter()
         insert_hops = [system.insert(event).hops for event in events]
         insert_seconds = perf_counter() - insert_started
@@ -310,15 +332,27 @@ def _run_cell(
                 cell.visited.append(len(result.visited_nodes))
                 cell.depths.append(result.depth_hops)
             cell.query_s.append(perf_counter() - query_started)
-    return samples
+        if telemetry:
+            records.append(
+                collect_system_record(
+                    experiment=config.name,
+                    size=size,
+                    trial=trial,
+                    system=system_name,
+                    network=facade,
+                    store=system,
+                    recorder=recorder,
+                )
+            )
+    return samples, records
 
 
 def _run_cell_task(
-    args: tuple[ExperimentConfig, int, int, int],
-) -> dict[tuple[str, str], _CellSamples]:
+    args: tuple[ExperimentConfig, int, int, int, bool],
+) -> tuple[dict[tuple[str, str], _CellSamples], list[dict]]:
     """Process-pool entry point (single-argument for ``submit``)."""
-    config, seed, size, trial = args
-    return _run_cell(config, seed, size, trial)
+    config, seed, size, trial, telemetry = args
+    return _run_cell(config, seed, size, trial, telemetry=telemetry)
 
 
 def run_experiment(
@@ -327,6 +361,7 @@ def run_experiment(
     seed: int = 0,
     jobs: int = 1,
     progress: ProgressFn | None = None,
+    telemetry: bool = False,
 ) -> ExperimentResult:
     """Run ``config`` and return aggregated rows.
 
@@ -336,6 +371,13 @@ def run_experiment(
     the wall-clock timing fields differ).  ``progress`` (if given)
     receives one human-readable line per (size, trial, system) step in
     serial mode, or one per completed cell in parallel mode.
+
+    With ``telemetry=True`` the result additionally carries one telemetry
+    record per (size, trial, system) in
+    :attr:`ExperimentResult.telemetry`.  Workers return the records as
+    plain dicts with their samples and the merge below walks cells in the
+    same fixed order as the rows, so the telemetry export is also
+    byte-identical across ``jobs`` values.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -346,13 +388,15 @@ def run_experiment(
     ]
     if jobs == 1:
         cell_results = [
-            _run_cell(config, seed, size, trial, progress)
+            _run_cell(config, seed, size, trial, progress, telemetry=telemetry)
             for size, trial in cells
         ]
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(_run_cell_task, (config, seed, size, trial))
+                pool.submit(
+                    _run_cell_task, (config, seed, size, trial, telemetry)
+                )
                 for size, trial in cells
             ]
             cell_results = []
@@ -364,7 +408,9 @@ def run_experiment(
                         f"{config.trials} done"
                     )
     samples: dict[tuple[int, str, str], _CellSamples] = {}
-    for (size, _trial), cell_result in zip(cells, cell_results):
+    telemetry_records: list[dict] = []
+    for (size, _trial), (cell_result, cell_records) in zip(cells, cell_results):
+        telemetry_records.extend(cell_records)
         for (workload_label, system_name), cell in cell_result.items():
             samples.setdefault(
                 (size, workload_label, system_name), _CellSamples()
@@ -404,4 +450,5 @@ def run_experiment(
         title=config.title,
         paper_claim=config.paper_claim,
         rows=rows,
+        telemetry=telemetry_records,
     )

@@ -12,7 +12,16 @@ from typing import Sequence
 
 from repro.bench.harness import ExperimentResult
 
-__all__ = ["Table", "result_table", "ratio_table", "render_result"]
+__all__ = [
+    "Table",
+    "result_table",
+    "ratio_table",
+    "render_result",
+    "telemetry_hotspot_table",
+    "telemetry_energy_table",
+    "telemetry_span_table",
+    "render_telemetry",
+]
 
 
 @dataclass(slots=True)
@@ -49,6 +58,11 @@ class Table:
 
 def _fmt(value: object) -> str:
     if isinstance(value, float):
+        # Significance-aware: one decimal place would render 0.04 as
+        # "0.0", erasing small-but-meaningful values (Gini coefficients,
+        # energy deltas).  Below 0.1 fall back to two significant digits.
+        if value != 0 and abs(value) < 0.1:
+            return f"{value:.2g}"
         return f"{value:.1f}"
     return str(value)
 
@@ -121,6 +135,108 @@ def render_result(result: ExperimentResult) -> str:
     ratios = ratio_table(result)
     if ratios is not None:
         parts.append(ratios.render())
+    return "\n\n".join(parts)
+
+
+def telemetry_hotspot_table(records: Sequence[dict]) -> Table:
+    """Per-system hotspot view of a telemetry export.
+
+    One row per (size, trial, system) record: max/mean/Gini of the radio
+    load, the single hottest node, and the storage-side max/Gini — the
+    load-balance comparison the paper's Section 4.2 motivates.
+    """
+    table = Table(
+        title="per-node load hotspots (radio tx+rx / stored events)",
+        headers=[
+            "size",
+            "trial",
+            "system",
+            "radio max",
+            "radio mean",
+            "radio gini",
+            "hottest",
+            "store max",
+            "store gini",
+        ],
+    )
+    for record in records:
+        radio = record.get("hotspot", {}).get("radio", {})
+        storage = record.get("hotspot", {}).get("storage", {})
+        top = radio.get("top") or []
+        hottest = f"n{top[0][0]} ({top[0][1]:g})" if top else "-"
+        table.add(
+            record.get("size", "-"),
+            record.get("trial", "-"),
+            record.get("system", "-"),
+            float(radio.get("max", 0.0)),
+            float(radio.get("mean", 0.0)),
+            float(radio.get("gini", 0.0)),
+            hottest,
+            float(storage.get("max", 0.0)),
+            float(storage.get("gini", 0.0)),
+        )
+    return table
+
+
+def telemetry_energy_table(records: Sequence[dict]) -> Table:
+    """Residual-energy view: min/mean remaining battery per system."""
+    table = Table(
+        title="residual energy (J, from the transmission ledger)",
+        headers=["size", "trial", "system", "min remaining", "mean remaining"],
+    )
+    for record in records:
+        gauges = record.get("metrics", {}).get("gauges", {})
+        table.add(
+            record.get("size", "-"),
+            record.get("trial", "-"),
+            record.get("system", "-"),
+            f"{float(gauges.get('energy_min_remaining', 0.0)):.6f}",
+            f"{float(gauges.get('energy_mean_remaining', 0.0)):.6f}",
+        )
+    return table
+
+
+def telemetry_span_table(records: Sequence[dict]) -> Table:
+    """Span summary: per (system, phase, span) counts across all records."""
+    table = Table(
+        title="query lifecycle spans (aggregated over cells)",
+        headers=["system", "phase", "span", "count", "messages", "nodes"],
+    )
+    merged: dict[tuple[str, str, str], list[int]] = {}
+    for record in records:
+        for row in record.get("span_summary", ()):
+            key = (
+                str(row.get("system") or record.get("system", "")),
+                str(row.get("phase", "")),
+                str(row.get("name", "")),
+            )
+            bucket = merged.setdefault(key, [0, 0, 0])
+            bucket[0] += int(row.get("count", 0))
+            bucket[1] += int(row.get("messages", 0))
+            bucket[2] += int(row.get("nodes", 0))
+    for (system, phase, name) in sorted(merged):
+        count, messages, nodes = merged[(system, phase, name)]
+        table.add(system, phase, name, count, messages, nodes)
+    return table
+
+
+def render_telemetry(header: dict, records: Sequence[dict]) -> str:
+    """Full text report over one telemetry export (``pool-bench report``)."""
+    experiments = sorted(
+        {str(r.get("experiment", "")) for r in records if r.get("experiment")}
+    )
+    intro = (
+        f"telemetry export: schema={header.get('schema', '?')} "
+        f"records={len(records)}"
+    )
+    if experiments:
+        intro += " experiments=" + ",".join(experiments)
+    parts = [
+        intro,
+        telemetry_hotspot_table(records).render(),
+        telemetry_energy_table(records).render(),
+        telemetry_span_table(records).render(),
+    ]
     return "\n\n".join(parts)
 
 

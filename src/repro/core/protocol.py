@@ -25,6 +25,7 @@ need global knowledge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.resolve import query_ranges_for_pool, relevant_offsets
 from repro.core.system import PoolSystem
@@ -34,6 +35,9 @@ from repro.exceptions import DimensionMismatchError, QueryError
 from repro.network.messages import MessageCategory
 from repro.network.simulator import Simulator
 from repro.routing.multicast import MulticastTree, TreeBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.spans import SpanRecorder
 
 __all__ = ["DistributedQueryRun", "run_query_on_simulator"]
 
@@ -68,12 +72,18 @@ class _Execution:
     """Drives one query across all Pools and collects the grand reply."""
 
     def __init__(
-        self, system: PoolSystem, simulator: Simulator, sink: int, query: RangeQuery
+        self,
+        system: PoolSystem,
+        simulator: Simulator,
+        sink: int,
+        query: RangeQuery,
+        recorder: "SpanRecorder | None" = None,
     ) -> None:
         self.system = system
         self.simulator = simulator
         self.sink = sink
         self.query = query
+        self.recorder = recorder
         self.events: list[Event] = []
         self.outstanding_pools = 0
         self.pools_visited = 0
@@ -84,7 +94,10 @@ class _Execution:
     def start(self) -> None:
         for pool in self.system.pools:
             offsets = relevant_offsets(
-                self.query, pool.index, self.system.side_length
+                self.query,
+                pool.index,
+                self.system.side_length,
+                recorder=self.recorder,
             )
             if not offsets:
                 continue
@@ -115,9 +128,24 @@ class _Execution:
         holders_events: dict[int, list[Event]],
     ) -> None:
         sim = self.simulator
-        builder = TreeBuilder(sim.router, splitter)
+        builder = TreeBuilder(sim.router, splitter, recorder=self.recorder)
         builder.add_destinations(destinations)
         tree = builder.build()
+        if self.recorder is not None:
+            # One planned-dissemination span per Pool: the event-driven
+            # run charges exactly one forward and one reply per tree edge
+            # plus the sink<->splitter legs, so the cost is known at
+            # launch (tests assert hop-for-hop agreement with the
+            # synchronous accounting).
+            self.recorder.record(
+                "pool-dissemination",
+                phase="simulate",
+                messages=2 * (len(sim.router.path(self.sink, splitter)) - 1)
+                + 2 * len(tree.edges),
+                nodes=tree.nodes(),
+                splitter=splitter,
+                destinations=len(destinations),
+            )
         run = _PoolRun(tree=tree, children=tree.children())
         # pending = own children count; a node replies upstream once all
         # of its children replied (leaves reply immediately).
@@ -197,12 +225,16 @@ def run_query_on_simulator(
     simulator: Simulator,
     sink: int,
     query: RangeQuery,
+    *,
+    recorder: "SpanRecorder | None" = None,
 ) -> DistributedQueryRun:
     """Execute ``query`` as asynchronous message passing; returns the run.
 
     The simulator must share the topology the system was built on.  The
     run's costs come out of ``simulator.stats`` (reset here so the counts
-    are exactly this query's).
+    are exactly this query's).  With ``recorder`` given, the whole run is
+    wrapped in a ``distributed-query`` span with one nested
+    ``pool-dissemination`` span per Pool launched.
     """
     if query.dimensions != system.dimensions:
         raise DimensionMismatchError(system.dimensions, query.dimensions, "query")
@@ -211,9 +243,21 @@ def run_query_on_simulator(
             "simulator and PoolSystem must share the same topology object"
         )
     simulator.stats.reset()
-    execution = _Execution(system, simulator, sink, query)
-    execution.start()
-    simulator.run()
+    execution = _Execution(system, simulator, sink, query, recorder)
+    if recorder is None:
+        execution.start()
+        simulator.run()
+    else:
+        with recorder.span(
+            "distributed-query", phase="simulate", sink=sink
+        ) as root:
+            execution.start()
+            simulator.run()
+            root.add_messages(
+                simulator.stats.count(MessageCategory.QUERY_FORWARD)
+                + simulator.stats.count(MessageCategory.QUERY_REPLY)
+            )
+            root.attrs["pools_visited"] = execution.pools_visited
     if execution.outstanding_pools:
         raise QueryError(
             f"{execution.outstanding_pools} pool(s) never replied; "

@@ -22,6 +22,7 @@ queries after the ``[0, 1]`` rewrite.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.grid import Cell
 from repro.core.pool import PoolLayout
@@ -32,6 +33,9 @@ from repro.core.ranges import (
 )
 from repro.events.queries import RangeQuery
 from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.spans import SpanRecorder
 
 __all__ = [
     "PoolQueryRanges",
@@ -83,7 +87,11 @@ def query_ranges_for_pool(query: RangeQuery, pool: int) -> PoolQueryRanges:
 
 
 def relevant_offsets(
-    query: RangeQuery, pool: int, side_length: int
+    query: RangeQuery,
+    pool: int,
+    side_length: int,
+    *,
+    recorder: "SpanRecorder | None" = None,
 ) -> list[tuple[int, int]]:
     """Algorithm 2: the ``(HO, VO)`` offsets of relevant cells in a Pool.
 
@@ -96,9 +104,15 @@ def relevant_offsets(
     The scan is narrowed to the columns overlapping ``R_H`` before the
     per-cell vertical check, so the common case touches far fewer than
     ``l²`` cells.
+
+    ``recorder`` (telemetry) logs one zero-message ``resolve`` span per
+    call — the sink-local pruning step of the query lifecycle; it never
+    causes traffic, which the span's ``messages=0`` makes auditable.
     """
     derived = query_ranges_for_pool(query, pool)
     if derived.is_empty:
+        if recorder is not None:
+            recorder.record("resolve", phase="resolve", pool=pool, cells=0, pruned=True)
         return []
     offsets: list[tuple[int, int]] = []
     # Column window from the horizontal range (cheap pre-prune).
@@ -116,6 +130,14 @@ def relevant_offsets(
                 v_range, derived.vertical, closed_top=(vo == side_length - 1)
             ):
                 offsets.append((ho, vo))
+    if recorder is not None:
+        recorder.record(
+            "resolve",
+            phase="resolve",
+            pool=pool,
+            cells=len(offsets),
+            pruned=not offsets,
+        )
     return offsets
 
 

@@ -16,6 +16,7 @@ Implements the :class:`~repro.dcs.DataCentricStore` protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.grid import Cell, Grid
 from repro.core.insertion import Placement, candidate_placements
@@ -34,6 +35,9 @@ from repro.ght.ght import GeographicHashTable
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
 from repro.rng import SeedLike, derive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.spans import SpanRecorder
 
 __all__ = ["PoolSystem", "PoolPlan", "PoolQueryDetail"]
 
@@ -504,13 +508,30 @@ class PoolSystem:
         """
         if query.dimensions != self.dimensions:
             raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
+        tel = self.network.telemetry
+        if tel is None:
+            return self._query_impl(sink, query, None)
+        with tel.span("query", phase="query", sink=sink) as span:
+            result = self._query_impl(sink, query, tel)
+            span.add_messages(result.total_cost)
+            span.add_nodes(result.visited_nodes)
+            span.attrs["pools_visited"] = result.detail.pools_visited
+            span.attrs["matches"] = result.match_count
+            return result
+
+    def _query_impl(
+        self, sink: int, query: RangeQuery, tel: "SpanRecorder | None"
+    ) -> QueryResult:
+        """The resolve/forward/collect loop; ``tel`` threads span recording."""
         detail = PoolQueryDetail()
         events: list[Event] = []
         forward_cost = 0
         reply_cost = 0
         visited: list[int] = []
         for pool in self.pools:
-            offsets = relevant_offsets(query, pool.index, self.side_length)
+            offsets = relevant_offsets(
+                query, pool.index, self.side_length, recorder=tel
+            )
             if not offsets:
                 continue
             derived = query_ranges_for_pool(query, pool.index)
@@ -626,6 +647,9 @@ class PoolSystem:
         self, sink: int, pool: int, cells: list[Cell], destinations: list[int]
     ) -> PoolPlan:
         """Charge the forwarding (and implicitly reply) messages for a Pool."""
+        tel = self.network.telemetry
+        if tel is not None:
+            return self._forward_instrumented(sink, pool, cells, destinations, tel)
         if self.route_via_splitter:
             splitter = self.splitter(sink, pool)
             path = self.network.unicast(MessageCategory.QUERY_FORWARD, sink, splitter)
@@ -639,6 +663,56 @@ class PoolSystem:
         # Aggregated replies: back down the tree, then splitter -> sink.
         self.network.reply_up_tree(MessageCategory.QUERY_REPLY, tree)
         self.network.stats.record(MessageCategory.QUERY_REPLY, sink_hops)
+        return PoolPlan(
+            pool=pool,
+            splitter=splitter,
+            cells=tuple(cells),
+            index_nodes=tuple(destinations),
+            sink_to_splitter_hops=sink_hops,
+            tree_edges=tree.forward_cost,
+            depth_hops=sink_hops + tree.height(),
+        )
+
+    def _forward_instrumented(
+        self,
+        sink: int,
+        pool: int,
+        cells: list[Cell],
+        destinations: list[int],
+        tel: "SpanRecorder",
+    ) -> PoolPlan:
+        """The `_forward` path with the Section 3.2.3 lifecycle spanned.
+
+        Span tree per Pool: ``pool-fanout`` wrapping ``sink-to-splitter``
+        (the unicast leg), ``cell-fanout`` (recorded by the tree builder)
+        and ``reply-aggregation`` (the replies retracing the tree, then
+        splitter → sink).  Message totals mirror the ledger exactly.
+        """
+        with tel.span("pool-fanout", phase="forward", pool=pool) as pool_span:
+            if self.route_via_splitter:
+                splitter = self.splitter(sink, pool)
+                with tel.span("sink-to-splitter", phase="forward", pool=pool) as leg:
+                    path = self.network.unicast(
+                        MessageCategory.QUERY_FORWARD, sink, splitter
+                    )
+                    leg.add_messages(len(path) - 1)
+                    leg.add_nodes(path)
+                sink_hops = len(path) - 1
+                root = splitter
+            else:
+                splitter = sink
+                sink_hops = 0
+                root = sink
+            tree = self.network.multicast(
+                MessageCategory.QUERY_FORWARD, root, destinations
+            )
+            with tel.span("reply-aggregation", phase="reply", pool=pool) as reply:
+                self.network.reply_up_tree(MessageCategory.QUERY_REPLY, tree)
+                self.network.stats.record(MessageCategory.QUERY_REPLY, sink_hops)
+                reply.add_messages(tree.reply_cost + sink_hops)
+                reply.add_nodes(tree.nodes())
+            pool_span.add_messages(2 * (sink_hops + tree.forward_cost))
+            pool_span.add_nodes(destinations)
         return PoolPlan(
             pool=pool,
             splitter=splitter,

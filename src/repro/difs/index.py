@@ -228,6 +228,18 @@ class DifsIndex:
         """
         if query.dimensions != self.dimensions:
             raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
+        tel = self.network.telemetry
+        if tel is None:
+            return self._query_impl(sink, query)
+        with tel.span("query", phase="query", sink=sink) as span:
+            result = self._query_impl(sink, query)
+            span.add_messages(result.total_cost)
+            span.add_nodes(result.visited_nodes)
+            span.attrs["post_filtered"] = result.detail.post_filtered
+            span.attrs["matches"] = result.match_count
+            return result
+
+    def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
         lo, hi = query.bounds[self.attribute]
         ranges = self.canonical_ranges(lo, hi)
         # Visit the leaf nodes under every canonical range (data lives at
@@ -290,6 +302,21 @@ class DifsIndex:
     def stored_events(self) -> int:
         """Total events currently stored."""
         return self._event_count
+
+    def storage_distribution(self) -> dict[int, int]:
+        """Events per *physical node* — the hotspot metric.
+
+        Hashed placement spreads leaf index nodes uniformly, but a skewed
+        workload still piles events onto the few leaves covering the hot
+        value range; this surfaces that imbalance per hosting node.
+        """
+        per_node: dict[int, int] = {}
+        for (lo, hi), events in self._storage.items():
+            if not events:
+                continue
+            node = self.index_node_of(_IndexRange(lo, hi, self.depth))
+            per_node[node] = per_node.get(node, 0) + len(events)
+        return per_node
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

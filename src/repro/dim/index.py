@@ -86,6 +86,18 @@ class DimIndex:
         3. Each owner filters its zone storage; replies aggregate back up
            the same tree.
         """
+        tel = self.network.telemetry
+        if tel is None:
+            return self._query_impl(sink, query)
+        with tel.span("query", phase="query", sink=sink) as span:
+            result = self._query_impl(sink, query)
+            span.add_messages(result.total_cost)
+            span.add_nodes(result.visited_nodes)
+            span.attrs["zones_visited"] = result.detail.zones_visited
+            span.attrs["matches"] = result.match_count
+            return result
+
+    def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
         zones = self.tree.zones_for_query(query)
         owners = sorted({zone.owner for zone in zones})
         events = self._collect(zones, query)

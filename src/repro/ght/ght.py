@@ -107,6 +107,15 @@ class GeographicHashTable:
         self.network.stats.record_path(MessageCategory.DHT, list(reversed(path)))
         return GhtReceipt(key, home, point, hops=2 * (len(path) - 1), values=values)
 
+    def storage_distribution(self) -> dict[int, int]:
+        """Values stored per home node — the hash-placement load view."""
+        per_node: dict[int, int] = {}
+        for node, buckets in self._store.items():
+            count = sum(len(values) for values in buckets.values())
+            if count:
+                per_node[node] = count
+        return per_node
+
     def local_values(self, node: int, key: Hashable) -> list[Any]:
         """Values of ``key`` held at ``node`` (no messages; node-local read)."""
         return list(self._store.get(node, {}).get(key, []))

@@ -22,7 +22,7 @@ a *derived* deployment, leaving siblings routing over the healthy field.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError
 from repro.geometry import Point
@@ -33,6 +33,9 @@ from repro.network.topology import Topology
 from repro.routing.gpsr import GPSRRouter
 from repro.routing.multicast import MulticastTree, TreeBuilder
 from repro.routing.planarization import PlanarizationKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.spans import SpanRecorder
 
 __all__ = ["Network"]
 
@@ -54,6 +57,11 @@ class Network:
         Interprets the message ledger as battery drain; optional.
     stats:
         The ledger scope to record into; a fresh root ledger by default.
+    telemetry:
+        Optional :class:`~repro.telemetry.spans.SpanRecorder` observing
+        query lifecycles on this facade and every scope derived from it.
+        ``None`` (the default) keeps the instrumented paths at one ``if``
+        per operation with zero allocation, like the message tracer.
     """
 
     def __init__(
@@ -64,6 +72,7 @@ class Network:
         planarization: PlanarizationKind = "gabriel",
         energy_model: EnergyModel | None = None,
         stats: MessageStats | None = None,
+        telemetry: "SpanRecorder | None" = None,
     ) -> None:
         if (topology is None) == (deployment is None):
             raise ConfigurationError(
@@ -75,6 +84,7 @@ class Network:
         self._deployment = deployment
         self.stats = stats if stats is not None else MessageStats()
         self.energy_model = energy_model or EnergyModel()
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------ #
     # Deployment access                                                  #
@@ -107,6 +117,7 @@ class Network:
             deployment=self._deployment,
             energy_model=self.energy_model,
             stats=self.stats.scope(label),
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------ #
@@ -183,7 +194,7 @@ class Network:
         returns the tree (callers typically follow up with
         :meth:`reply_up_tree`).
         """
-        builder = TreeBuilder(self.router, src)
+        builder = TreeBuilder(self.router, src, recorder=self.telemetry)
         builder.add_destinations(list(destinations))
         tree = builder.build()
         self.stats.record(category, tree.forward_cost)

@@ -36,11 +36,15 @@ class TraceRecord:
     sender: int | None
     receiver: int | None
     hops: int
+    #: Label of the ledger scope that recorded the transmission (the
+    #: storage system's name under the harness), when the scope has one.
+    scope: str | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         src = self.sender if self.sender is not None else "?"
         dst = self.receiver if self.receiver is not None else "?"
-        return f"#{self.seq} {self.category.value} {src}->{dst} x{self.hops}"
+        where = f" [{self.scope}]" if self.scope else ""
+        return f"#{self.seq} {self.category.value} {src}->{dst} x{self.hops}{where}"
 
 
 class MessageTracer:
@@ -71,6 +75,7 @@ class MessageTracer:
         hops: int,
         sender: int | None,
         receiver: int | None,
+        scope: str | None = None,
     ) -> None:
         """Append one transmission record (drops oldest at capacity)."""
         self._seq += 1
@@ -83,6 +88,7 @@ class MessageTracer:
                 sender=sender,
                 receiver=receiver,
                 hops=hops,
+                scope=scope,
             )
         )
 
@@ -106,13 +112,17 @@ class MessageTracer:
         *,
         category: MessageCategory | None = None,
         node: int | None = None,
+        scope: str | None = None,
     ) -> list[TraceRecord]:
-        """Records matching a category and/or involving a node."""
+        """Records matching a category, involving a node, and/or recorded
+        under a ledger scope label."""
         out = []
         for record in self._records:
             if category is not None and record.category is not category:
                 continue
             if node is not None and node not in (record.sender, record.receiver):
+                continue
+            if scope is not None and record.scope != scope:
                 continue
             out.append(record)
         return out

@@ -21,6 +21,7 @@ from repro.events.queries import RangeQuery
 from repro.exceptions import ValidationError
 from repro.geometry import Rect
 from repro.network.topology import Topology
+from repro.telemetry.export import TELEMETRY_SCHEMA, validate_record
 
 __all__ = [
     "topology_to_dict",
@@ -30,6 +31,8 @@ __all__ = [
     "queries_to_dict",
     "queries_from_dict",
     "result_from_dict",
+    "telemetry_to_dict",
+    "telemetry_from_dict",
     "save_json",
     "load_json",
 ]
@@ -156,6 +159,30 @@ def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
         paper_claim=str(payload.get("paper_claim", "")),
         rows=rows,
     )
+
+
+# --------------------------------------------------------------------- #
+# Telemetry                                                             #
+# --------------------------------------------------------------------- #
+
+
+def telemetry_to_dict(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Wrap telemetry records (``ExperimentResult.telemetry``) as one
+    versioned document — the single-file alternative to the JSONL export
+    of :mod:`repro.telemetry.export` (same schema tag, same records)."""
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "records": [validate_record(record) for record in records],
+    }
+
+
+def telemetry_from_dict(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    """Unwrap a telemetry document; rejects unknown schema versions."""
+    _check_schema(payload, TELEMETRY_SCHEMA)
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise ValidationError("telemetry document missing 'records' list")
+    return [validate_record(record) for record in records]
 
 
 # --------------------------------------------------------------------- #

@@ -16,8 +16,12 @@ is apples-to-apples (see DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.routing.gpsr import GPSRRouter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.spans import SpanRecorder
 
 __all__ = ["MulticastTree", "TreeBuilder"]
 
@@ -111,9 +115,16 @@ class TreeBuilder:
         tree = builder.build()
     """
 
-    def __init__(self, router: GPSRRouter, root: int) -> None:
+    def __init__(
+        self,
+        router: GPSRRouter,
+        root: int,
+        *,
+        recorder: "SpanRecorder | None" = None,
+    ) -> None:
         self.router = router
         self.root = root
+        self.recorder = recorder
         self._edges: set[tuple[int, int]] = set()
         self._destinations: list[int] = []
         self._reached: set[int] = {root}
@@ -149,9 +160,25 @@ class TreeBuilder:
             self.add_destination(node)
 
     def build(self) -> MulticastTree:
-        """Freeze the current tree."""
-        return MulticastTree(
+        """Freeze the current tree.
+
+        With a telemetry recorder attached, records one ``cell-fanout``
+        span under whatever span is currently open (the per-Pool span
+        during query execution): the dissemination leg of Section 3.2.3,
+        one message per tree edge.
+        """
+        tree = MulticastTree(
             root=self.root,
             destinations=tuple(self._destinations),
             edges=frozenset(self._edges),
         )
+        if self.recorder is not None:
+            self.recorder.record(
+                "cell-fanout",
+                phase="forward",
+                messages=tree.forward_cost,
+                nodes=tree.nodes(),
+                root=self.root,
+                destinations=len(tree.destinations),
+            )
+        return tree

@@ -1,0 +1,264 @@
+"""Metrics registry and derived hotspot/energy statistics.
+
+:class:`MetricsRegistry` is a small counters/gauges/histograms store,
+keyed by name plus sorted labels, that layers *on top of* the existing
+:class:`~repro.network.radio.MessageStats` scope tree — the ledger stays
+the single source of truth for message counts; the registry is a derived
+snapshot taken when telemetry is collected, so the hot recording path is
+untouched.
+
+The derived views are the ones the paper's measurement story needs and
+DIM's load analysis previously kept private:
+
+* per-node load (transmissions + receptions + stored events) for *every*
+  system — skew-induced imbalance is exactly what DIM suffers from and
+  Pool's workload sharing targets;
+* hotspot statistics over any load map: max/mean load, the Gini
+  coefficient of the distribution and the top-k loaded nodes;
+* per-node residual energy from :class:`~repro.network.radio.EnergyModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.radio import EnergyModel, MessageStats
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HotspotStats",
+    "MetricsRegistry",
+    "gini",
+    "top_k",
+]
+
+
+def gini(values: Iterable[int | float]) -> float:
+    """Gini coefficient of a load distribution (0 = even, →1 = one hog).
+
+    Standard rank formula over the sorted values; an empty or all-zero
+    distribution is perfectly even by convention.
+    """
+    ordered = sorted(float(v) for v in values)
+    if any(v < 0 for v in ordered):
+        raise ConfigurationError("gini requires non-negative values")
+    n = len(ordered)
+    total = sum(ordered)
+    if n == 0 or total == 0.0:
+        return 0.0
+    weighted = sum(rank * value for rank, value in enumerate(ordered, start=1))
+    return (2.0 * weighted) / (n * total) - (n + 1) / n
+
+
+def top_k(load: Mapping[int, int | float], k: int = 5) -> list[tuple[int, int | float]]:
+    """The ``k`` most loaded nodes, heaviest first (ties by node id)."""
+    ranked = sorted(load.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k]
+
+
+@dataclass(frozen=True, slots=True)
+class HotspotStats:
+    """Summary statistics of one per-node load map."""
+
+    nodes: int
+    max_load: float
+    mean_load: float
+    gini: float
+    top: tuple[tuple[int, float], ...]
+
+    @classmethod
+    def from_load(cls, load: Mapping[int, int | float], *, k: int = 5) -> "HotspotStats":
+        """Derive the hotspot view of a load map (empty map → all zeros)."""
+        if not load:
+            return cls(nodes=0, max_load=0.0, mean_load=0.0, gini=0.0, top=())
+        values = list(load.values())
+        return cls(
+            nodes=len(load),
+            max_load=float(max(values)),
+            mean_load=sum(values) / len(values),
+            gini=gini(values),
+            top=tuple((node, float(count)) for node, count in top_k(load, k)),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "nodes": self.nodes,
+            "max": round(self.max_load, 6),
+            "mean": round(self.mean_load, 6),
+            "gini": round(self.gini, 6),
+            "top": [[node, round(value, 6)] for node, value in self.top],
+        }
+
+
+def _metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass(slots=True)
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass(slots=True)
+class Gauge:
+    """A point-in-time value (overwritten, not accumulated)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass(slots=True)
+class Histogram:
+    """A stream of observations with a summary view.
+
+    Observations are retained (these registries live for one experiment
+    cell), so the summary is exact rather than bucketed.
+    """
+
+    observations: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.observations.append(value)
+
+    def summary(self) -> dict[str, float]:
+        if not self.observations:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        total = sum(self.observations)
+        return {
+            "count": len(self.observations),
+            "total": round(total, 6),
+            "min": round(min(self.observations), 6),
+            "max": round(max(self.observations), 6),
+            "mean": round(total / len(self.observations), 6),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, labelled metrics."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._counters.setdefault(_metric_key(name, labels), Counter())
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._gauges.setdefault(_metric_key(name, labels), Gauge())
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._histograms.setdefault(_metric_key(name, labels), Histogram())
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deterministic JSON-ready snapshot (sorted metric keys)."""
+        return {
+            "counters": {
+                key: round(counter.value, 6)
+                for key, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                key: round(gauge.value, 6)
+                for key, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                key: histogram.summary()
+                for key, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Layering on the MessageStats scope tree                            #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats: "MessageStats",
+        *,
+        energy_model: "EnergyModel | None" = None,
+        storage: Mapping[int, int] | None = None,
+    ) -> "MetricsRegistry":
+        """Snapshot one ledger scope (and everything below it) as metrics.
+
+        Produces, per scope tree:
+
+        * ``messages_total{category=...}`` counters (non-zero categories);
+        * a ``node_radio_load`` histogram (tx + rx per node);
+        * ``hotspot_*`` gauges over the radio load (max/mean/Gini);
+        * with ``storage``, a ``node_storage_load`` histogram and
+          ``storage_hotspot_*`` gauges;
+        * with ``energy_model``, ``energy_min_remaining`` /
+          ``energy_mean_remaining`` gauges over the per-node map.
+        """
+        registry = cls()
+        for category, count in sorted(
+            stats.snapshot().items(), key=lambda item: item[0]
+        ):
+            if count:
+                registry.counter("messages_total", category=category).inc(count)
+        tx = stats.per_node_transmissions()
+        rx = stats.per_node_receptions()
+        radio_load = {
+            node: tx.get(node, 0) + rx.get(node, 0)
+            for node in set(tx) | set(rx)
+        }
+        load_hist = registry.histogram("node_radio_load")
+        for node in sorted(radio_load):
+            load_hist.observe(float(radio_load[node]))
+        radio_hotspot = HotspotStats.from_load(radio_load)
+        registry.gauge("hotspot_max_load").set(radio_hotspot.max_load)
+        registry.gauge("hotspot_mean_load").set(radio_hotspot.mean_load)
+        registry.gauge("hotspot_gini").set(radio_hotspot.gini)
+        if storage is not None:
+            storage_hist = registry.histogram("node_storage_load")
+            for node in sorted(storage):
+                storage_hist.observe(float(storage[node]))
+            storage_hotspot = HotspotStats.from_load(storage)
+            registry.gauge("storage_hotspot_max_load").set(storage_hotspot.max_load)
+            registry.gauge("storage_hotspot_gini").set(storage_hotspot.gini)
+        if energy_model is not None:
+            remaining = energy_model.per_node_remaining(stats)
+            if remaining:
+                values = list(remaining.values())
+                registry.gauge("energy_min_remaining").set(min(values))
+                registry.gauge("energy_mean_remaining").set(
+                    sum(values) / len(values)
+                )
+            else:
+                registry.gauge("energy_min_remaining").set(
+                    energy_model.initial_energy
+                )
+                registry.gauge("energy_mean_remaining").set(
+                    energy_model.initial_energy
+                )
+        return registry
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )

@@ -7,9 +7,14 @@ import json
 from repro.bench.harness import ExperimentResult, ResultRow
 from repro.bench.reporting import (
     Table,
+    _fmt,
     ratio_table,
     render_result,
+    render_telemetry,
     result_table,
+    telemetry_energy_table,
+    telemetry_hotspot_table,
+    telemetry_span_table,
     to_json,
 )
 
@@ -55,6 +60,16 @@ class TestTable:
         table.add(3.14159)
         assert "3.1" in table.render()
 
+    def test_small_floats_keep_significance(self):
+        # One decimal place used to render 0.04 as "0.0" — Gini
+        # coefficients and energy deltas live below 0.1.
+        assert _fmt(0.04) == "0.04"
+        assert _fmt(0.0421) == "0.042"
+        assert _fmt(-0.04) == "-0.04"
+        assert _fmt(0.0) == "0.0"
+        assert _fmt(0.1) == "0.1"
+        assert _fmt(3.14159) == "3.1"
+
 
 class TestResultTable:
     def test_contains_all_rows(self):
@@ -81,3 +96,68 @@ class TestResultTable:
         payload = json.loads(to_json([_result()]))
         assert payload[0]["name"] == "figX"
         assert payload[0]["rows"][0]["system"] == "pool"
+
+
+def _telemetry_record(system: str = "pool") -> dict:
+    return {
+        "kind": "system",
+        "experiment": "figX",
+        "size": 100,
+        "trial": 0,
+        "system": system,
+        "messages": {"insert": 10},
+        "hotspot": {
+            "radio": {
+                "nodes": 4,
+                "max": 9.0,
+                "mean": 3.0,
+                "gini": 0.04,
+                "top": [[7, 9.0]],
+            },
+            "storage": {"nodes": 2, "max": 5.0, "mean": 3.0, "gini": 0.2, "top": []},
+        },
+        "metrics": {
+            "gauges": {
+                "energy_min_remaining": 1.9991,
+                "energy_mean_remaining": 1.9997,
+            }
+        },
+        "spans": [],
+        "span_summary": [
+            {
+                "system": system,
+                "phase": "query",
+                "name": "query",
+                "count": 3,
+                "messages": 120,
+                "nodes": 11,
+            }
+        ],
+    }
+
+
+class TestTelemetryTables:
+    def test_hotspot_table_preserves_small_gini(self):
+        text = telemetry_hotspot_table([_telemetry_record()]).render()
+        assert "0.04" in text  # not flattened to "0.0"
+        assert "n7 (9)" in text
+
+    def test_energy_table(self):
+        text = telemetry_energy_table([_telemetry_record()]).render()
+        assert "1.999100" in text and "1.999700" in text
+
+    def test_span_table_merges_records(self):
+        records = [_telemetry_record(), _telemetry_record()]
+        table = telemetry_span_table(records)
+        assert table.rows == [["pool", "query", "query", "6", "240", "22"]]
+
+    def test_render_telemetry_sections(self):
+        text = render_telemetry(
+            {"schema": "telemetry/1"},
+            [_telemetry_record("pool"), _telemetry_record("dim")],
+        )
+        assert "schema=telemetry/1" in text
+        assert "experiments=figX" in text
+        assert "hotspots" in text
+        assert "residual energy" in text
+        assert "lifecycle spans" in text

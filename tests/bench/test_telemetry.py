@@ -1,0 +1,174 @@
+"""Telemetry through the harness and CLI: determinism and zero cost.
+
+The acceptance bar for the observability layer: a telemetry export must
+be byte-identical between ``--jobs 1`` and ``--jobs N`` for the same
+seed, the CLI must round-trip capture → report, and a run *without*
+telemetry must never allocate a span or metrics registry on the hot
+path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.harness import run_experiment
+from repro.bench.workloads import ExperimentConfig
+from repro.events.generators import QueryWorkload
+from repro.telemetry import spans as spans_module
+from repro.telemetry.export import (
+    TELEMETRY_SCHEMA,
+    read_telemetry_jsonl,
+    write_telemetry_jsonl,
+)
+
+
+def _small_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        name="tel",
+        title="telemetry probe",
+        network_sizes=(100,),
+        systems=("pool", "dim", "difs", "flooding", "external"),
+        query_workloads=(
+            QueryWorkload(dimensions=3, kind="exact", range_sizes="exponential"),
+        ),
+        query_count=3,
+        trials=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestHarnessTelemetry:
+    def test_one_record_per_cell_slice(self):
+        config = _small_config()
+        result = run_experiment(config, seed=3, jobs=1, telemetry=True)
+        # One record per (size, trial, system), in fixed cell order.
+        assert len(result.telemetry) == (
+            len(config.network_sizes) * config.trials * len(config.systems)
+        )
+        keys = [
+            (r["size"], r["trial"], r["system"]) for r in result.telemetry
+        ]
+        expected = [
+            (size, trial, system)
+            for size in config.network_sizes
+            for trial in range(config.trials)
+            for system in config.systems
+        ]
+        assert keys == expected
+
+    def test_every_system_reports_spans_and_hotspots(self):
+        result = run_experiment(_small_config(), seed=3, jobs=1, telemetry=True)
+        for record in result.telemetry:
+            assert record["span_summary"], record["system"]
+            assert any(
+                s["phase"] == "query" for s in record["span_summary"]
+            ), record["system"]
+            assert record["hotspot"]["storage"]["nodes"] > 0, record["system"]
+            assert "energy_min_remaining" in record["metrics"]["gauges"]
+
+    def test_off_by_default(self):
+        result = run_experiment(_small_config(trials=1), seed=3, jobs=1)
+        assert result.telemetry == []
+
+    def test_jobs_do_not_change_export_bytes(self, tmp_path):
+        config = _small_config()
+        serial = run_experiment(config, seed=7, jobs=1, telemetry=True)
+        parallel = run_experiment(config, seed=7, jobs=2, telemetry=True)
+        a = write_telemetry_jsonl(tmp_path / "a.jsonl", serial.telemetry)
+        b = write_telemetry_jsonl(tmp_path / "b.jsonl", parallel.telemetry)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_span_costs_match_ledger(self):
+        """Per-system query spans account exactly the measured query cost."""
+        result = run_experiment(
+            _small_config(trials=1, systems=("pool", "dim")),
+            seed=5,
+            jobs=1,
+            telemetry=True,
+        )
+        for record in result.telemetry:
+            span_cost = sum(
+                s["messages"]
+                for s in record["span_summary"]
+                if s["name"] == "query"
+            )
+            ledger_cost = record["messages"].get(
+                "query_forward", 0
+            ) + record["messages"].get("query_reply", 0)
+            assert span_cost == ledger_cost, record["system"]
+
+
+class TestZeroCostWhenDisabled:
+    def test_no_span_allocation_without_telemetry(self, monkeypatch):
+        """With telemetry off, the hot path must never touch the span API."""
+
+        def _boom(*args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("span API touched with telemetry disabled")
+
+        monkeypatch.setattr(spans_module.SpanRecorder, "span", _boom)
+        monkeypatch.setattr(spans_module.SpanRecorder, "record", _boom)
+        monkeypatch.setattr(spans_module.Span, "__init__", _boom)
+        result = run_experiment(
+            _small_config(trials=1), seed=1, jobs=1, telemetry=False
+        )
+        assert result.rows and result.telemetry == []
+
+
+class TestCliTelemetry:
+    def test_capture_then_report(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = main(
+            [
+                "fig7a",
+                "--scale",
+                "0.1",
+                "--trials",
+                "1",
+                "--quiet",
+                "--telemetry",
+                str(out),
+            ]
+        )
+        assert code == 0
+        header, records = read_telemetry_jsonl(out)
+        assert header["schema"] == TELEMETRY_SCHEMA
+        assert records and all(r["kind"] == "system" for r in records)
+        # Every line parses as standalone JSON (the JSONL contract).
+        for line in out.read_text().splitlines():
+            json.loads(line)
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "hotspot" in rendered
+        assert "gini" in rendered
+        assert "residual energy" in rendered
+        assert "lifecycle spans" in rendered
+
+    def test_report_requires_path(self, capsys):
+        assert main(["report"]) == 2
+        assert "requires" in capsys.readouterr().err
+
+    def test_report_rejects_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "nope/1"}\n', "utf-8")
+        assert main(["report", str(bad)]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("system", ["difs", "flooding", "external"])
+def test_baseline_storage_distributions(system):
+    """The new storage_distribution() hooks feed the storage hotspot."""
+    result = run_experiment(
+        _small_config(trials=1, systems=(system,)),
+        seed=2,
+        jobs=1,
+        telemetry=True,
+    )
+    (record,) = result.telemetry
+    storage = record["per_node"]["storage"]
+    assert storage
+    assert sum(storage.values()) > 0

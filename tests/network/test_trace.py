@@ -49,6 +49,32 @@ class TestTracer:
         assert len(tracer.filter(node=3)) == 1
         assert len(tracer.filter(node=9)) == 0
 
+    def test_filter_matches_sender_and_receiver(self):
+        tracer = MessageTracer()
+        tracer.record(MessageCategory.INSERT, 1, 5, 6)  # node 5 as sender
+        tracer.record(MessageCategory.INSERT, 1, 4, 5)  # node 5 as receiver
+        tracer.record(MessageCategory.INSERT, 1, None, None)
+        matched = tracer.filter(node=5)
+        assert len(matched) == 2
+        assert {(r.sender, r.receiver) for r in matched} == {(5, 6), (4, 5)}
+
+    def test_filter_by_scope(self):
+        tracer = MessageTracer()
+        tracer.record(MessageCategory.INSERT, 1, 0, 1, "pool")
+        tracer.record(MessageCategory.INSERT, 1, 1, 2, "dim")
+        tracer.record(MessageCategory.INSERT, 1, 2, 3)
+        assert [r.scope for r in tracer.filter(scope="pool")] == ["pool"]
+        assert tracer.filter(scope="ght") == []
+
+    def test_dropped_counts_only_evictions(self):
+        tracer = MessageTracer(capacity=2)
+        tracer.record(MessageCategory.INSERT, 1, 0, 1)
+        tracer.record(MessageCategory.INSERT, 1, 1, 2)
+        assert tracer.dropped == 0  # at capacity, nothing evicted yet
+        tracer.record(MessageCategory.INSERT, 1, 2, 3)
+        assert tracer.dropped == 1
+        assert [r.sender for r in tracer] == [1, 2]
+
     def test_tail(self):
         tracer = MessageTracer()
         for i in range(10):
@@ -70,6 +96,14 @@ class TestTracer:
         tracer.record(MessageCategory.INSERT, 3, 1, 2)
         tracer.record(MessageCategory.DHT, 1, 0, 1)
         assert tracer.summary() == {"insert": 5, "dht": 1}
+
+    def test_summary_weights_by_hops_in_retained_window(self):
+        """Evicted records must not count; survivors count their hops."""
+        tracer = MessageTracer(capacity=2)
+        tracer.record(MessageCategory.INSERT, 10, 0, 1)  # evicted below
+        tracer.record(MessageCategory.INSERT, 3, 1, 2)
+        tracer.record(MessageCategory.DHT, 4, 2, 3)
+        assert tracer.summary() == {"insert": 3, "dht": 4}
 
     def test_capacity_validation(self):
         with pytest.raises(ConfigurationError):
@@ -109,3 +143,43 @@ class TestStatsIntegration:
             for key, value in net.stats.snapshot().items()
             if value
         }
+
+    def test_records_carry_scope_label(self, topo300):
+        net = Network(topo300)
+        scoped = net.scope("pool")
+        tracer = MessageTracer()
+        scoped.stats.attach_tracer(tracer)
+        scoped.unicast(MessageCategory.INSERT, 0, 100)
+        assert all(r.scope == "pool" for r in tracer)
+        assert "[pool]" in str(next(iter(tracer)))
+
+    def test_inherited_tracer_observes_child_scopes(self, topo300):
+        net = Network(topo300)
+        tracer = MessageTracer()
+        net.stats.attach_tracer(tracer, inherit=True)
+        pool_net = net.scope("pool")
+        dim_net = net.scope("dim")
+        pool_net.unicast(MessageCategory.INSERT, 0, 100)
+        dim_net.unicast(MessageCategory.INSERT, 0, 200)
+        scopes = {r.scope for r in tracer}
+        assert scopes == {"pool", "dim"}
+        # ...recursively: a scope of a scope still reports.
+        grand = pool_net.scope("ght")
+        grand.unicast(MessageCategory.DHT, 0, 50)
+        assert any(r.scope == "ght" for r in tracer)
+
+    def test_default_attach_does_not_inherit(self, topo300):
+        net = Network(topo300)
+        tracer = MessageTracer()
+        net.stats.attach_tracer(tracer)  # inherit=False (default)
+        child = net.scope("pool")
+        child.unicast(MessageCategory.INSERT, 0, 100)
+        assert len(tracer) == 0
+
+    def test_preexisting_children_not_retargeted(self, topo300):
+        net = Network(topo300)
+        child = net.scope("pool")  # created before attach
+        tracer = MessageTracer()
+        net.stats.attach_tracer(tracer, inherit=True)
+        child.unicast(MessageCategory.INSERT, 0, 100)
+        assert len(tracer) == 0

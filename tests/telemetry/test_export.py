@@ -1,0 +1,99 @@
+"""Tests for telemetry collection and the JSONL export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.system import PoolSystem
+from repro.events.generators import generate_events
+from repro.events.queries import RangeQuery
+from repro.exceptions import ValidationError
+from repro.network.network import Network
+from repro.telemetry.export import (
+    TELEMETRY_SCHEMA,
+    collect_system_record,
+    read_telemetry_jsonl,
+    validate_record,
+    write_telemetry_jsonl,
+)
+from repro.telemetry.spans import SpanRecorder
+
+
+@pytest.fixture()
+def pool_record(topo300):
+    recorder = SpanRecorder(label="pool")
+    net = Network(topo300, telemetry=recorder)
+    system = PoolSystem(net, 2, cell_size=0.1, seed=7)
+    events = generate_events(60, 2, seed=3, sources=list(topo300))
+    for event in events:
+        system.insert(event)
+    system.query(0, RangeQuery(((0.2, 0.7), (0.1, 0.9))))
+    return collect_system_record(
+        experiment="test",
+        size=topo300.size,
+        trial=0,
+        system="pool",
+        network=net,
+        store=system,
+        recorder=recorder,
+    )
+
+
+class TestCollect:
+    def test_record_shape(self, pool_record):
+        record = pool_record
+        assert record["kind"] == "system"
+        assert record["system"] == "pool"
+        assert record["messages"]["insert"] > 0
+        assert record["per_node"]["tx"]  # non-empty node map
+        assert record["hotspot"]["radio"]["max"] >= 1
+        assert record["hotspot"]["storage"]["nodes"] > 0
+        assert record["metrics"]["gauges"]["hotspot_gini"] >= 0
+        assert any(s["name"] == "query" for s in record["spans"])
+        assert any(s["phase"] == "resolve" for s in record["span_summary"])
+
+    def test_record_is_json_ready(self, pool_record):
+        json.dumps(pool_record)  # must not raise (no sets, no tuples-as-keys)
+
+    def test_query_span_carries_cost_and_nesting(self, pool_record):
+        query_spans = [s for s in pool_record["spans"] if s["name"] == "query"]
+        assert len(query_spans) == 1
+        span = query_spans[0]
+        assert span["messages"] > 0
+        names = {child["name"] for child in span.get("children", ())}
+        assert "resolve" in names and "pool-fanout" in names
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path, pool_record):
+        path = tmp_path / "t.jsonl"
+        write_telemetry_jsonl(path, [pool_record], seed=0)
+        header, records = read_telemetry_jsonl(path)
+        assert header["schema"] == TELEMETRY_SCHEMA
+        assert header["records"] == 1 and header["seed"] == 0
+        assert records == [pool_record]
+
+    def test_dump_is_deterministic(self, tmp_path, pool_record):
+        a = write_telemetry_jsonl(tmp_path / "a.jsonl", [pool_record]).read_text()
+        b = write_telemetry_jsonl(tmp_path / "b.jsonl", [pool_record]).read_text()
+        assert a == b
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "telemetry/999"}\n', "utf-8")
+        with pytest.raises(ValidationError):
+            read_telemetry_jsonl(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", "utf-8")
+        with pytest.raises(ValidationError):
+            read_telemetry_jsonl(path)
+
+    def test_validate_record_requires_kind_and_system(self):
+        with pytest.raises(ValidationError):
+            validate_record({"kind": "system"})
+        with pytest.raises(ValidationError):
+            validate_record(["not", "a", "dict"])  # type: ignore[arg-type]

@@ -1,0 +1,101 @@
+"""Tests for the metrics registry and hotspot statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.messages import MessageCategory
+from repro.network.radio import EnergyModel, MessageStats
+from repro.telemetry.metrics import (
+    HotspotStats,
+    MetricsRegistry,
+    gini,
+    top_k,
+)
+
+
+class TestGini:
+    def test_even_distribution_is_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_single_hog_approaches_one(self):
+        value = gini([0] * 99 + [100])
+        assert value == pytest.approx(0.99, abs=1e-9)
+
+    def test_empty_and_all_zero_are_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+    def test_known_value(self):
+        # For [1, 2, 3, 4]: G = 2*(1+4+9+16)/(4*10) - 5/4 = 0.25
+        assert gini([1, 2, 3, 4]) == pytest.approx(0.25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gini([1, -1])
+
+
+class TestTopK:
+    def test_heaviest_first_ties_by_node(self):
+        load = {3: 10, 1: 20, 2: 10, 4: 5}
+        assert top_k(load, 3) == [(1, 20), (2, 10), (3, 10)]
+
+
+class TestHotspotStats:
+    def test_from_load(self):
+        stats = HotspotStats.from_load({1: 4, 2: 8, 3: 0})
+        assert stats.nodes == 3
+        assert stats.max_load == 8.0
+        assert stats.mean_load == pytest.approx(4.0)
+        assert stats.top[0] == (2, 8.0)
+
+    def test_empty_load(self):
+        stats = HotspotStats.from_load({})
+        assert stats.nodes == 0 and stats.max_load == 0.0
+        assert stats.as_dict()["top"] == []
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_keying(self):
+        reg = MetricsRegistry()
+        reg.counter("m", category="insert").inc(2)
+        reg.counter("m", category="insert").inc(3)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h").observe(1.0)
+        reg.histogram("h").observe(3.0)
+        payload = reg.as_dict()
+        assert payload["counters"]["m{category=insert}"] == 5.0
+        assert payload["gauges"]["g"] == 7.0
+        assert payload["histograms"]["h"]["mean"] == 2.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_from_stats_builds_all_views(self):
+        stats = MessageStats()
+        stats.record(MessageCategory.INSERT, sender=1, receiver=2)
+        stats.record(MessageCategory.QUERY_FORWARD, sender=2, receiver=3)
+        reg = MetricsRegistry.from_stats(
+            stats, energy_model=EnergyModel(), storage={2: 5, 3: 1}
+        )
+        payload = reg.as_dict()
+        assert payload["counters"]["messages_total{category=insert}"] == 1.0
+        assert payload["histograms"]["node_radio_load"]["count"] == 3
+        assert "hotspot_gini" in payload["gauges"]
+        assert payload["gauges"]["storage_hotspot_max_load"] == 5.0
+        assert payload["gauges"]["energy_min_remaining"] < 2.0
+
+    def test_from_stats_idle_network_reports_full_battery(self):
+        reg = MetricsRegistry.from_stats(
+            MessageStats(), energy_model=EnergyModel(initial_energy=3.0)
+        )
+        assert reg.as_dict()["gauges"]["energy_min_remaining"] == 3.0
+
+    def test_from_stats_aggregates_scopes(self):
+        root = MessageStats()
+        child = root.scope("pool")
+        child.record(MessageCategory.INSERT, sender=1, receiver=2)
+        payload = MetricsRegistry.from_stats(root).as_dict()
+        assert payload["counters"]["messages_total{category=insert}"] == 1.0

@@ -15,17 +15,15 @@ from __future__ import annotations
 import math
 import statistics
 
-import numpy as np
-
 from repro.bench.reporting import Table
 from repro.core.sharing import SharingPolicy
 from repro.core.system import PoolSystem
 from repro.dim.index import DimIndex
-from repro.events.generators import generate_events
+from repro.events.generators import EventDistribution, generate_events
 from repro.network.deployment import Deployment
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
-from repro.network.topology import deploy_uniform
+from repro.network.topology import Topology, deploy_uniform
 from repro.rng import derive
 
 __all__ = ["run_hotspot_ablation", "run_routing_ablation"]
@@ -46,7 +44,7 @@ def run_hotspot_ablation(
     events_per_node: int = 3,
     capacity: int = 32,
     seed: int = 0,
-    distribution: str = "gaussian",
+    distribution: EventDistribution = "gaussian",
 ) -> Table:
     """Storage hotspots under a skewed event distribution.
 
@@ -62,7 +60,7 @@ def run_hotspot_ablation(
     events = generate_events(
         events_per_node * size,
         3,
-        distribution=distribution,  # type: ignore[arg-type]
+        distribution=distribution,
         seed=derive(seed, "hotspot-events"),
         sources=list(deployment.topology),
     )
@@ -107,7 +105,7 @@ def run_hotspot_ablation(
     return table
 
 
-def _bfs_hops(topology, src: int, dst: int) -> int:
+def _bfs_hops(topology: Topology, src: int, dst: int) -> int:
     """Shortest-path hop count on the radio graph (ground truth)."""
     if src == dst:
         return 0
@@ -155,7 +153,7 @@ def run_routing_ablation(
         from repro.routing.gpsr import GPSRRouter
 
         router = GPSRRouter(topology)
-        rng = np.random.default_rng(int(derive(seed, "routing-pairs").integers(2**31)))
+        rng = derive(seed, "routing-pairs")
         delivered = greedy = attempted = 0
         stretches: list[float] = []
         while attempted < samples:

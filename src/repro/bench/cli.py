@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+from time import perf_counter
+from typing import Any
 
 from repro.bench.ablations import run_hotspot_ablation, run_routing_ablation
 from repro.bench.experiments import EXPERIMENTS, get_experiment
@@ -134,8 +135,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.experiment]
 
-    results = []
-    telemetry_records: list[dict] = []
+    results: list[ExperimentResult] = []
+    telemetry_records: list[dict[str, Any]] = []
     for name in names:
         config = get_experiment(name)
         if args.scale != 1.0:
@@ -144,7 +145,7 @@ def main(argv: list[str] | None = None) -> int:
             from dataclasses import replace
 
             config = replace(config, trials=args.trials)
-        started = time.time()
+        started = perf_counter()
         result = run_experiment(
             config,
             seed=args.seed,
@@ -152,7 +153,7 @@ def main(argv: list[str] | None = None) -> int:
             progress=None if args.quiet else _progress,
             telemetry=args.telemetry is not None,
         )
-        elapsed = time.time() - started
+        elapsed = perf_counter() - started
         print(render_result(result))
         print(f"({name} finished in {elapsed:.1f}s)\n")
         results.append(result)

@@ -28,7 +28,7 @@ import statistics
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable
+from typing import Any, Callable
 
 from repro.baselines.external import ExternalStorage
 from repro.baselines.flooding import LocalStorageFlooding
@@ -120,7 +120,7 @@ class ExperimentResult:
     #: fixed cell order) when the run was launched with ``telemetry=True``;
     #: empty otherwise.  Export with
     #: :func:`repro.telemetry.export.write_telemetry_jsonl`.
-    telemetry: list[dict] = field(default_factory=list)
+    telemetry: list[dict[str, Any]] = field(default_factory=list)
 
     def series(self, system: str, workload: str | None = None) -> list[tuple[int, float]]:
         """``(size, mean_cost)`` points for one system (and workload)."""
@@ -247,6 +247,11 @@ class _CellSamples:
         self.query_s.extend(other.query_s)
 
 
+# Per-(size, trial) grid-cell output: samples keyed by (workload label,
+# system name) plus the cell's telemetry records.
+_CellResult = tuple[dict[tuple[str, str], "_CellSamples"], list[dict[str, Any]]]
+
+
 def _run_cell(
     config: ExperimentConfig,
     seed: int,
@@ -255,7 +260,7 @@ def _run_cell(
     progress: ProgressFn | None = None,
     *,
     telemetry: bool = False,
-) -> tuple[dict[tuple[str, str], _CellSamples], list[dict]]:
+) -> _CellResult:
     """Run one (size, trial) grid cell: every system, every workload.
 
     One deployment is built here and shared by all systems through scoped
@@ -294,7 +299,7 @@ def _run_cell(
         for wi, workload in enumerate(config.query_workloads)
     ]
     samples: dict[tuple[str, str], _CellSamples] = {}
-    records: list[dict] = []
+    records: list[dict[str, Any]] = []
     for system_name in config.systems:
         if progress is not None:
             progress(
@@ -349,7 +354,7 @@ def _run_cell(
 
 def _run_cell_task(
     args: tuple[ExperimentConfig, int, int, int, bool],
-) -> tuple[dict[tuple[str, str], _CellSamples], list[dict]]:
+) -> _CellResult:
     """Process-pool entry point (single-argument for ``submit``)."""
     config, seed, size, trial, telemetry = args
     return _run_cell(config, seed, size, trial, telemetry=telemetry)
@@ -399,7 +404,7 @@ def run_experiment(
                 )
                 for size, trial in cells
             ]
-            cell_results = []
+            cell_results: list[_CellResult] = []
             for (size, trial), future in zip(cells, futures):
                 cell_results.append(future.result())
                 if progress is not None:
@@ -408,14 +413,14 @@ def run_experiment(
                         f"{config.trials} done"
                     )
     samples: dict[tuple[int, str, str], _CellSamples] = {}
-    telemetry_records: list[dict] = []
+    telemetry_records: list[dict[str, Any]] = []
     for (size, _trial), (cell_result, cell_records) in zip(cells, cell_results):
         telemetry_records.extend(cell_records)
         for (workload_label, system_name), cell in cell_result.items():
             samples.setdefault(
                 (size, workload_label, system_name), _CellSamples()
             ).merge(cell)
-    rows = []
+    rows: list[ResultRow] = []
     for size in config.network_sizes:
         for workload in config.query_workloads:
             label = workload.describe()

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.bench.harness import ExperimentResult
 
@@ -138,7 +138,7 @@ def render_result(result: ExperimentResult) -> str:
     return "\n\n".join(parts)
 
 
-def telemetry_hotspot_table(records: Sequence[dict]) -> Table:
+def telemetry_hotspot_table(records: Sequence[Mapping[str, Any]]) -> Table:
     """Per-system hotspot view of a telemetry export.
 
     One row per (size, trial, system) record: max/mean/Gini of the radio
@@ -178,7 +178,7 @@ def telemetry_hotspot_table(records: Sequence[dict]) -> Table:
     return table
 
 
-def telemetry_energy_table(records: Sequence[dict]) -> Table:
+def telemetry_energy_table(records: Sequence[Mapping[str, Any]]) -> Table:
     """Residual-energy view: min/mean remaining battery per system."""
     table = Table(
         title="residual energy (J, from the transmission ledger)",
@@ -196,7 +196,7 @@ def telemetry_energy_table(records: Sequence[dict]) -> Table:
     return table
 
 
-def telemetry_span_table(records: Sequence[dict]) -> Table:
+def telemetry_span_table(records: Sequence[Mapping[str, Any]]) -> Table:
     """Span summary: per (system, phase, span) counts across all records."""
     table = Table(
         title="query lifecycle spans (aggregated over cells)",
@@ -220,7 +220,9 @@ def telemetry_span_table(records: Sequence[dict]) -> Table:
     return table
 
 
-def render_telemetry(header: dict, records: Sequence[dict]) -> str:
+def render_telemetry(
+    header: Mapping[str, Any], records: Sequence[Mapping[str, Any]]
+) -> str:
     """Full text report over one telemetry export (``pool-bench report``)."""
     experiments = sorted(
         {str(r.get("experiment", "")) for r in records if r.get("experiment")}

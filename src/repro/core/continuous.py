@@ -114,7 +114,7 @@ class ContinuousQueryService:
             registration_cost=cost,
         )
         self._subscriptions[subscription.sub_id] = subscription
-        for cell in cells:
+        for cell in sorted(cells):
             self._by_cell.setdefault(cell, set()).add(subscription.sub_id)
         return subscription
 

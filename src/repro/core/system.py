@@ -16,7 +16,7 @@ Implements the :class:`~repro.dcs.DataCentricStore` protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.grid import Cell, Grid
 from repro.core.insertion import Placement, candidate_placements
@@ -158,7 +158,7 @@ class PoolSystem:
         # Called after every successful insert with
         # (placement, event, holder_node); used by the continuous-query
         # service to push notifications (see repro.core.continuous).
-        self.insert_listeners: list = []
+        self.insert_listeners: list[Callable[[Placement, Event, int], None]] = []
         # Replica nodes per cell key (elected lazily, re-elected on
         # failure); replicas hold a synchronous full copy of their cell.
         self._replica_nodes: dict[tuple[int, int, int], tuple[int, ...]] = {}
@@ -345,7 +345,7 @@ class PoolSystem:
         self._splitter_cache.clear()
         topology = self.network.topology
         report = FailureReport(failed_nodes=frozenset(failed_set))
-        for node in failed_set:
+        for node in sorted(failed_set):
             self._node_load.pop(node, None)
         for key, store in self._stores.items():
             pool_i, ho, vo = key
@@ -599,7 +599,7 @@ class PoolSystem:
                 if store is None:
                     holders = f"node {self.index_node(cell)} (empty)"
                 else:
-                    parts = []
+                    parts: list[str] = []
                     for segment in store.segments_overlapping(derived.vertical):
                         parts.append(f"node {segment.node} x{len(segment)}")
                     holders = ", ".join(parts) if parts else "no overlapping segment"

@@ -133,7 +133,7 @@ class DifsIndex:
 
     def ancestors(self, leaf: _IndexRange) -> list[_IndexRange]:
         """The leaf's ancestors up to (excluding) the root."""
-        out = []
+        out: list[_IndexRange] = []
         lo, hi, depth = leaf.lo, leaf.hi, leaf.depth
         while depth > 1:
             depth -= 1

@@ -113,7 +113,7 @@ def generate_events(
         values = _corner_values(rng, count, dimensions)
     else:  # pragma: no cover - guarded by Literal, kept for runtime safety
         raise ConfigurationError(f"unknown event distribution {distribution!r}")
-    events = []
+    events: list[Event] = []
     for i in range(count):
         source = sources[i % len(sources)] if sources else None
         events.append(Event(tuple(values[i]), source=source, seq=i))
@@ -209,7 +209,7 @@ def exact_match_queries(
     widths = _range_widths(
         rng, count, dimensions, range_sizes, exponential_mean, fixed_width
     )
-    queries = []
+    queries: list[RangeQuery] = []
     for row in widths:
         bounds = tuple(_place_range(rng, float(w)) for w in row)
         queries.append(RangeQuery(bounds))
@@ -263,7 +263,7 @@ def partial_match_queries(
             raise ConfigurationError(
                 "at least one dimension must stay specified in a partial query"
             )
-    queries = []
+    queries: list[RangeQuery] = []
     for _ in range(count):
         if fixed_dims is None:
             dont_care = set(

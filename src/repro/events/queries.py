@@ -201,7 +201,7 @@ class RangeQuery:
         return [event for event in events if self.matches(event)]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        parts = []
+        parts: list[str] = []
         for lo, hi in self.bounds:
             if (lo, hi) == FULL_RANGE:
                 parts.append("*")

@@ -160,7 +160,8 @@ def ccw_angle_from(reference: float, angle: float) -> float:
     mapped to ``2*pi`` so the incoming edge itself sorts last.
     """
     sweep = (angle - reference) % _TWO_PI
-    if sweep == 0.0:
+    # Exact sentinel: % can return exactly 0.0, which must map to 2*pi.
+    if sweep == 0.0:  # repro-lint: ignore[REP004]
         sweep = _TWO_PI
     return sweep
 
@@ -225,7 +226,8 @@ def segment_intersection_point(
     r_x, r_y = p2[0] - p1[0], p2[1] - p1[1]
     s_x, s_y = q2[0] - q1[0], q2[1] - q1[1]
     denom = r_x * s_y - r_y * s_x
-    if denom == 0.0:
+    # Exact zero guard against the division below, not a tolerance test.
+    if denom == 0.0:  # repro-lint: ignore[REP004]
         return None
     qp_x, qp_y = q1[0] - p1[0], q1[1] - p1[1]
     t = (qp_x * s_y - qp_y * s_x) / denom

@@ -246,7 +246,7 @@ class EnergyModel:
         """Remaining energy per node id, from a stats ledger."""
         tx = stats.per_node_transmissions()
         rx = stats.per_node_receptions()
-        nodes = set(tx) | set(rx)
+        nodes = sorted(set(tx) | set(rx))
         return {
             node: self.remaining(tx.get(node, 0), rx.get(node, 0)) for node in nodes
         }

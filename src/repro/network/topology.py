@@ -105,7 +105,7 @@ class Topology:
         iteration.  The underlying position array is shared.
         """
         failed_set = frozenset(failed) | self.excluded
-        for node in failed_set:
+        for node in sorted(failed_set):
             if not 0 <= node < self.size:
                 raise TopologyError(f"cannot fail unknown node {node}")
         return Topology(

@@ -116,7 +116,7 @@ class MessageTracer:
     ) -> list[TraceRecord]:
         """Records matching a category, involving a node, and/or recorded
         under a ledger scope label."""
-        out = []
+        out: list[TraceRecord] = []
         for record in self._records:
             if category is not None and record.category is not category:
                 continue

@@ -130,7 +130,7 @@ def queries_from_dict(payload: dict[str, Any]) -> list[RangeQuery]:
 
 def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
     """Rebuild an :class:`ExperimentResult` from ``as_dict()`` output."""
-    rows = []
+    rows: list[ResultRow] = []
     for row in payload["rows"]:
         timings = row.get("timings", {})
         rows.append(

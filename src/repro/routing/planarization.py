@@ -162,7 +162,7 @@ def update_after_failures(
     CONSTRUCTION_COUNTERS.planar_updates += 1
     positions = new_topology.positions
     affected: set[int] = set()
-    for w in failed_set:
+    for w in sorted(failed_set):
         x, y = positions[w]
         affected.update(
             new_topology.nodes_within((float(x), float(y)), new_topology.radio_range)
@@ -174,7 +174,7 @@ def update_after_failures(
         for u in range(new_topology.size)
     ]
     recomputed: dict[int, tuple[int, ...]] = {}
-    for u in affected:
+    for u in sorted(affected):
         recomputed[u] = tuple(
             sorted(
                 v

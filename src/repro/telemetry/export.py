@@ -68,7 +68,9 @@ def collect_system_record(
     stats = network.stats
     tx = dict(stats.per_node_transmissions())
     rx = dict(stats.per_node_receptions())
-    radio_load = {node: tx.get(node, 0) + rx.get(node, 0) for node in set(tx) | set(rx)}
+    radio_load = {
+        node: tx.get(node, 0) + rx.get(node, 0) for node in sorted(set(tx) | set(rx))
+    }
     distribution = getattr(store, "storage_distribution", None)
     storage: dict[int, int] = dict(distribution()) if callable(distribution) else {}
     energy = network.energy_model.per_node_remaining(stats)

@@ -224,7 +224,7 @@ class MetricsRegistry:
         rx = stats.per_node_receptions()
         radio_load = {
             node: tx.get(node, 0) + rx.get(node, 0)
-            for node in set(tx) | set(rx)
+            for node in sorted(set(tx) | set(rx))
         }
         load_hist = registry.histogram("node_radio_load")
         for node in sorted(radio_load):

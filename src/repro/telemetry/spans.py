@@ -222,7 +222,7 @@ class SpanRecorder:
             bucket["count"] += 1
             bucket["messages"] += span.messages
             unions.setdefault(key, set()).update(span.nodes)
-        out = []
+        out: list[dict[str, Any]] = []
         for key in sorted(buckets):
             bucket = buckets[key]
             bucket["nodes"] = len(unions[key])

@@ -127,7 +127,7 @@ class FieldCanvas:
     def render(self, title: str = "") -> str:
         """The canvas as a bordered multi-line string."""
         border = "+" + "-" * self.width + "+"
-        lines = []
+        lines: list[str] = []
         if title:
             lines.append(title)
         lines.append(border)

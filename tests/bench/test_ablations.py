@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.ablations import run_hotspot_ablation, run_routing_ablation
+from repro.rng import derive
 
 
 class TestHotspotAblation:
@@ -57,3 +58,27 @@ class TestRoutingAblation:
     def test_stretch_at_least_one(self, table):
         for row in table.rows:
             assert float(row[4]) >= 1.0
+
+    def test_pair_stream_pinned_for_default_seed(self):
+        """The routing ablation samples (src, dst) pairs straight from
+        ``derive(seed, "routing-pairs")``.  Pin the head of that stream for
+        the default seed so an accidental change to the derivation key or
+        the sampling scheme shows up as a test failure, not as silently
+        different published numbers."""
+        rng = derive(0, "routing-pairs")
+        pairs = []
+        while len(pairs) < 8:
+            src, dst = (int(x) for x in rng.integers(0, 250, 2))
+            if src == dst:
+                continue
+            pairs.append((src, dst))
+        assert pairs == [
+            (74, 118),
+            (238, 123),
+            (81, 13),
+            (207, 57),
+            (24, 171),
+            (101, 29),
+            (12, 15),
+            (3, 184),
+        ]

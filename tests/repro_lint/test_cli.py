@@ -1,0 +1,130 @@
+"""CLI behaviour: exit codes, report format, select, statistics, config."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro_lint.checker import check_source
+from repro_lint.cli import discover_files, main
+from repro_lint.config import Config, load_config, path_matches
+
+BAD_SNIPPET = "import time\n\n\ndef stamp() -> float:\n    return time.time()\n"
+CLEAN_SNIPPET = "def double(x: int) -> int:\n    return 2 * x\n"
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> Path:
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "clean.py").write_text(CLEAN_SNIPPET)
+    (package / "clocky.py").write_text(BAD_SNIPPET)
+    pycache = package / "__pycache__"
+    pycache.mkdir()
+    (pycache / "stale.py").write_text(BAD_SNIPPET)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree: Path, capsys) -> None:
+        assert main([str(tree / "src" / "repro" / "clean.py")]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_violations_exit_one(self, tree: Path, capsys) -> None:
+        assert main([str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out
+        assert "clocky.py:5:11: REP002" in out
+
+    def test_syntax_error_exits_two(self, tmp_path: Path, capsys) -> None:
+        broken = tmp_path / "broken.py"
+        broken.write_text("def half(:\n")
+        assert main([str(broken)]) == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path: Path, capsys) -> None:
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, tree: Path, capsys) -> None:
+        assert main(["--select", "REP999", str(tree)]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_select_restricts_rules(self, tree: Path, capsys) -> None:
+        assert main(["--select", "REP001", str(tree)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_statistics_footer(self, tree: Path, capsys) -> None:
+        main(["--statistics", str(tree)])
+        lines = capsys.readouterr().out.splitlines()
+        by_label = {line.split()[0]: line.split()[1] for line in lines if line}
+        assert by_label["REP002"] == "1"
+        assert by_label["REP001"] == "0"
+        assert by_label["total"] == "1"
+
+    def test_list_rules(self, capsys) -> None:
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert code in out
+
+
+class TestDiscovery:
+    def test_pycache_is_skipped(self, tree: Path) -> None:
+        files = discover_files([str(tree)])
+        names = {f.name for f in files}
+        assert names == {"clean.py", "clocky.py"}
+
+    def test_deterministic_order(self, tree: Path) -> None:
+        assert discover_files([str(tree)]) == discover_files([str(tree)])
+
+
+class TestConfig:
+    def test_pyproject_override_allowlists_a_path(self, tmp_path: Path) -> None:
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.repro-lint]\nrep002-allow = ["src/repro/clocky.py"]\n'
+        )
+        config = load_config(pyproject)
+        assert check_source(BAD_SNIPPET, "src/repro/clocky.py", config) == []
+        # ... while other files still fire.
+        assert check_source(BAD_SNIPPET, "src/repro/other.py", config)
+
+    def test_unknown_key_is_rejected(self, tmp_path: Path) -> None:
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.repro-lint]\ntypo-key = ["x"]\n')
+        with pytest.raises(ValueError, match="unknown"):
+            load_config(pyproject)
+
+    def test_non_string_list_is_rejected(self, tmp_path: Path) -> None:
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.repro-lint]\nrep002-allow = "oops"\n')
+        with pytest.raises(ValueError, match="list of strings"):
+            load_config(pyproject)
+
+    def test_missing_explicit_config_raises(self, tmp_path: Path) -> None:
+        with pytest.raises(FileNotFoundError):
+            load_config(tmp_path / "pyproject.toml")
+
+
+class TestPathMatching:
+    def test_directory_fragment(self) -> None:
+        patterns = ("src/repro/network/",)
+        assert path_matches("src/repro/network/radio.py", patterns)
+        assert path_matches("/ci/build/src/repro/network/radio.py", patterns)
+        assert not path_matches("src/repro/networking/radio.py", patterns)
+
+    def test_file_suffix_respects_components(self) -> None:
+        patterns = ("src/repro/rng.py",)
+        assert path_matches("src/repro/rng.py", patterns)
+        assert path_matches("/abs/src/repro/rng.py", patterns)
+        assert not path_matches("other_src/repro/not_rng.py", patterns)
+        assert not path_matches("src/repro/rng.pyx", patterns)
+
+    def test_default_scoping_excludes_tests_packages(self) -> None:
+        config = Config()
+        assert not path_matches("tests/routing/test_gpsr.py", config.rep004_paths)
+        assert path_matches("src/repro/routing/gpsr.py", config.rep004_paths)

@@ -1,0 +1,41 @@
+"""Unit tests for the suppression-comment parser."""
+
+from __future__ import annotations
+
+from repro_lint.ignores import collect_ignores
+
+
+class TestCollectIgnores:
+    def test_single_code(self) -> None:
+        ignores = collect_ignores("x = 1  # repro-lint: ignore[REP001]\n")
+        assert ignores.is_ignored(1, "REP001")
+        assert not ignores.is_ignored(1, "REP002")
+        assert not ignores.is_ignored(2, "REP001")
+
+    def test_code_list_with_spaces(self) -> None:
+        ignores = collect_ignores("x = 1  # repro-lint: ignore[REP001, REP004]\n")
+        assert ignores.is_ignored(1, "REP001")
+        assert ignores.is_ignored(1, "REP004")
+        assert not ignores.is_ignored(1, "REP003")
+
+    def test_bare_ignore_suppresses_everything_on_line(self) -> None:
+        ignores = collect_ignores("x = 1  # repro-lint: ignore\n")
+        for code in ("REP001", "REP002", "REP005"):
+            assert ignores.is_ignored(1, code)
+
+    def test_skip_file(self) -> None:
+        ignores = collect_ignores("# repro-lint: skip-file\nx = 1\n")
+        assert ignores.skip_file
+        assert ignores.is_ignored(99, "REP003")
+
+    def test_directive_inside_string_is_not_a_comment(self) -> None:
+        ignores = collect_ignores('text = "# repro-lint: ignore[REP001]"\n')
+        assert not ignores.is_ignored(1, "REP001")
+
+    def test_plain_comments_do_not_suppress(self) -> None:
+        ignores = collect_ignores("x = 1  # just a note about REP001\n")
+        assert not ignores.is_ignored(1, "REP001")
+
+    def test_unterminated_source_yields_empty_map(self) -> None:
+        ignores = collect_ignores("x = (1,\n")
+        assert not ignores.skip_file

@@ -1,0 +1,61 @@
+"""The linter holds on the real tree — the acceptance gate, as a test.
+
+Runs the full rule suite over ``src`` and ``tests`` exactly like CI's
+``python -m repro_lint src tests`` and requires a clean exit, so any PR
+that reintroduces raw RNG, wall-clock reads, unordered iteration, float
+equality or ledger pokes fails the ordinary pytest run too.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro_lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def run_from_repo_root(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.chdir(REPO_ROOT)
+
+
+def test_src_and_tests_are_clean(capsys: pytest.CaptureFixture[str]) -> None:
+    exit_code = main(["src", "tests"])
+    out = capsys.readouterr().out
+    assert exit_code == 0, f"repro_lint found violations:\n{out}"
+
+
+def test_linter_package_is_clean() -> None:
+    # The linter obeys its own rules (fixtures excluded by design: they
+    # live under tools/repro_lint/fixtures and are linted by the corpus
+    # tests with their expected outcomes instead).
+    lint_paths = [
+        str(path)
+        for path in sorted((REPO_ROOT / "tools" / "repro_lint").glob("*.py"))
+    ]
+    assert lint_paths
+    assert main(lint_paths) == 0
+
+
+def test_module_invocation_matches_documented_command() -> None:
+    """`PYTHONPATH=tools python -m repro_lint src tests` exits 0."""
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "tools"), env.get("PYTHONPATH")])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro_lint", "src", "tests"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

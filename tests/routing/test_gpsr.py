@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError, DeliveryError, RoutingError
 from repro.network.topology import Topology, deploy_uniform
+from repro.rng import derive
 from repro.routing.gpsr import GPSRRouter
 
 
@@ -109,7 +109,7 @@ class TestDeliveryAtScale:
     def test_all_pairs_sample_delivered(self, seed):
         topo = deploy_uniform(250, seed=seed)
         router = GPSRRouter(topo)
-        rng = np.random.default_rng(seed)
+        rng = derive(seed, "pairs")
         for _ in range(120):
             src, dst = (int(x) for x in rng.integers(0, topo.size, 2))
             result = router.route(src, dst)
@@ -119,7 +119,7 @@ class TestDeliveryAtScale:
         # Density low enough that perimeter mode is exercised frequently.
         topo = deploy_uniform(200, target_degree=7.0, seed=4)
         router = GPSRRouter(topo)
-        rng = np.random.default_rng(0)
+        rng = derive(0, "sparse-pairs")
         perimeter_used = 0
         for _ in range(100):
             src, dst = (int(x) for x in rng.integers(0, topo.size, 2))

@@ -1,0 +1,40 @@
+"""repro-lint: AST-based invariant checks for the Pool reproduction.
+
+The reproduction's headline claims (paper-matching cost curves, byte-identical
+``--jobs N`` runs) rest on a handful of invariants that ordinary linters do not
+know about:
+
+* all randomness flows through :mod:`repro.rng` (``ensure_generator`` /
+  ``derive``) so streams are derivable, independent and process-stable;
+* deterministic paths never read the wall clock;
+* nothing that feeds message emission or export order iterates an unordered
+  ``set``;
+* geometric predicates never compare floats with ``==`` / ``!=``;
+* radio accounting is only ever mutated through the ``MessageStats`` API.
+
+``repro_lint`` makes those invariants machine-checked.  Run it as::
+
+    PYTHONPATH=tools python -m repro_lint src tests
+
+Violations print as ``file:line:col: CODE message``.  A line can opt out with
+``# repro-lint: ignore[CODE]`` (and a file with ``# repro-lint: skip-file``);
+see ``docs/DEVELOPMENT.md`` for each rule's rationale.
+"""
+
+from __future__ import annotations
+
+from repro_lint.checker import Violation, check_file, check_source
+from repro_lint.config import Config, load_config
+from repro_lint.rules import ALL_RULES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Config",
+    "Violation",
+    "check_file",
+    "check_source",
+    "load_config",
+    "__version__",
+]

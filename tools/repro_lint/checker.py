@@ -1,0 +1,68 @@
+"""Run the rule registry over source text or files and filter ignores."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro_lint.config import Config
+from repro_lint.ignores import collect_ignores
+from repro_lint.rules import ALL_RULES, Violation
+
+__all__ = ["Violation", "LintProblem", "check_source", "check_file"]
+
+
+class LintProblem(Exception):
+    """A file could not be linted at all (unreadable or unparsable)."""
+
+    def __init__(self, path: str, message: str):
+        super().__init__(f"{path}: {message}")
+        self.path = path
+        self.message = message
+
+
+def check_source(
+    source: str,
+    path: str,
+    config: Config | None = None,
+    *,
+    select: frozenset[str] | None = None,
+) -> list[Violation]:
+    """All violations in ``source``, attributed to ``path``.
+
+    ``select`` restricts to a subset of rule codes; ``None`` runs them all.
+    Suppression comments are honoured.  Raises :class:`LintProblem` on a
+    syntax error.
+    """
+    config = config if config is not None else Config()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        line = error.lineno if error.lineno is not None else 0
+        raise LintProblem(path, f"syntax error at line {line}: {error.msg}") from error
+    ignores = collect_ignores(source)
+    if ignores.skip_file:
+        return []
+    violations: list[Violation] = []
+    for code, rule in ALL_RULES.items():
+        if select is not None and code not in select:
+            continue
+        for violation in rule(tree, path, config):
+            if not ignores.is_ignored(violation.line, violation.code):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def check_file(
+    path: str | Path,
+    config: Config | None = None,
+    *,
+    select: frozenset[str] | None = None,
+) -> list[Violation]:
+    """All violations in the file at ``path``."""
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        raise LintProblem(str(path), str(error)) from error
+    return check_source(source, str(path), config, select=select)

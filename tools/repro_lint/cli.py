@@ -1,0 +1,133 @@
+"""Command-line front end: ``python -m repro_lint [paths ...]``.
+
+Exit codes: ``0`` clean, ``1`` violations found, ``2`` a file could not be
+linted (or the command line / config is invalid).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro_lint.checker import LintProblem, Violation, check_file
+from repro_lint.config import Config, load_config
+from repro_lint.rules import ALL_RULES, RULE_SUMMARIES
+
+__all__ = ["main", "build_parser", "discover_files"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache"})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro_lint",
+        description=(
+            "AST-based invariant checks for the Pool reproduction "
+            "(determinism, ordering, accounting)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help=(
+            "pyproject.toml with a [tool.repro-lint] table "
+            "(default: ./pyproject.toml if present)"
+        ),
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print a per-rule violation count after the report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    return parser
+
+
+def discover_files(paths: Sequence[str]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, in a deterministic order."""
+    found: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.append(path)
+        elif path.is_dir():
+            found.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not (_SKIP_DIRS & set(candidate.parts))
+            )
+        else:
+            raise LintProblem(raw, "no such file or directory")
+    return found
+
+
+def _parse_select(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    codes = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+    unknown = codes - set(ALL_RULES)
+    if unknown:
+        raise LintProblem(
+            "--select", f"unknown rule code(s): {', '.join(sorted(unknown))}"
+        )
+    return codes
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, rule in ALL_RULES.items():
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{code}  {RULE_SUMMARIES[code]}")
+            print(f"        {doc}")
+        return 0
+
+    try:
+        config: Config = load_config(args.config)
+        select = _parse_select(args.select)
+        files = discover_files(args.paths)
+    except (LintProblem, FileNotFoundError, ValueError) as error:
+        print(f"repro_lint: {error}", file=sys.stderr)
+        return 2
+
+    violations: list[Violation] = []
+    broken = False
+    for path in files:
+        try:
+            violations.extend(check_file(path, config, select=select))
+        except LintProblem as error:
+            print(f"repro_lint: {error}", file=sys.stderr)
+            broken = True
+
+    for violation in violations:
+        print(violation.render())
+    if args.statistics:
+        counts = Counter(violation.code for violation in violations)
+        for code in sorted(ALL_RULES):
+            print(f"{code:8s} {counts.get(code, 0):5d}  {RULE_SUMMARIES[code]}")
+        print(f"total    {len(violations):5d}  in {len(files)} files")
+    if broken:
+        return 2
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

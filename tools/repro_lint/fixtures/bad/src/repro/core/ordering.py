@@ -1,0 +1,38 @@
+"""REP003 bad fixture: unordered iteration feeding emission/export order."""
+
+from __future__ import annotations
+
+SEEN: set[int] = {3, 1, 2}
+
+for module_level_node in SEEN:  # expect: REP003
+    print(module_level_node)
+
+
+def emit_all(tx: dict[int, int], rx: dict[int, int]) -> dict[int, int]:
+    return {node: 1 for node in set(tx) | set(rx)}  # expect: REP003
+
+
+def forward(neighbors: list[int], failed: frozenset[int]) -> None:
+    pending = set(neighbors) - failed
+    for node in pending:  # expect: REP003
+        print("send", node)
+
+
+def one_hop_alias(members: list[int]) -> list[int]:
+    unique = set(members)
+    ordered_wrong = unique
+    return list(ordered_wrong)  # expect: REP003
+
+
+def literal_and_comprehension(xs: list[int]) -> list[int]:
+    doubled = [x * 2 for x in {1, 2, 3}]  # expect: REP003
+    squares = tuple(x * x for x in {n for n in xs})  # expect: REP003
+    return doubled + list(squares)
+
+
+def annotated_accumulator(rows: list[list[int]]) -> None:
+    affected: set[int] = set()
+    for row in rows:
+        affected.update(row)
+    for node in affected:  # expect: REP003
+        print("repair", node)

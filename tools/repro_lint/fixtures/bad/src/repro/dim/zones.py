@@ -1,0 +1,8 @@
+"""REP004 bad fixture in the zone-split module path."""
+
+from __future__ import annotations
+
+
+def zone_boundary_hit(coordinate: float, boundary: float) -> bool:
+    midpoint = (coordinate + boundary) / 2.0
+    return midpoint == boundary  # expect: REP004

@@ -1,0 +1,27 @@
+"""REP004 bad fixture: exact float comparisons in geometric predicates."""
+
+from __future__ import annotations
+
+
+def collinear(cross: float) -> bool:
+    return cross == 0.0  # expect: REP004
+
+
+def same_slope(dx1: float, dy1: float, dx2: float, dy2: float) -> bool:
+    return dy1 / dx1 == dy2 / dx2  # expect: REP004
+
+
+def not_unit(length: float) -> bool:
+    return length != 1.0  # expect: REP004
+
+
+def coerced(raw: str, reference: float) -> bool:
+    return float(raw) == reference  # expect: REP004
+
+
+def negated_sentinel(angle: float) -> bool:
+    return angle == -0.0  # expect: REP004
+
+
+def chained(a: float, b: float) -> bool:
+    return 0.5 <= a == b / 2.0  # expect: REP004

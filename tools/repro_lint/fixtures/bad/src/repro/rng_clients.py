@@ -1,0 +1,38 @@
+"""REP001 bad fixture: every way of minting raw RNG state."""
+
+from __future__ import annotations
+
+import random  # expect: REP001
+from random import randint  # expect: REP001
+
+import numpy as np
+from numpy.random import default_rng  # noqa: F401
+
+
+def fresh_generator() -> "np.random.Generator":
+    return np.random.default_rng(42)  # expect: REP001
+
+
+def renamed_module(numpy_mod) -> None:
+    import numpy as nump
+
+    nump.random.seed(0)  # expect: REP001
+
+
+def from_import_call() -> "np.random.Generator":
+    return default_rng(7)  # expect: REP001
+
+
+def legacy_global_state(n: int) -> object:
+    values = np.random.rand(n)  # expect: REP001
+    np.random.shuffle(values)  # expect: REP001
+    return values
+
+
+def stdlib_draws() -> int:
+    random.seed(3)  # expect: REP001
+    return randint(0, 10) + random.randrange(5)  # expect: REP001
+
+
+def legacy_state_object() -> object:
+    return np.random.RandomState(0)  # expect: REP001

@@ -1,0 +1,37 @@
+"""REP002 bad fixture: wall-clock reads in deterministic code."""
+
+from __future__ import annotations
+
+import datetime
+import time
+from datetime import date, datetime as dt
+from time import time as now
+
+
+def stamp_run() -> float:
+    return time.time()  # expect: REP002
+
+
+def stamp_run_ns() -> int:
+    return time.time_ns()  # expect: REP002
+
+
+def via_from_import() -> float:
+    return now()  # expect: REP002
+
+
+def log_line() -> str:
+    return time.ctime()  # expect: REP002
+
+
+def report_header() -> str:
+    today = datetime.datetime.now()  # expect: REP002
+    return str(today) + str(date.today())  # expect: REP002
+
+
+def aliased_class() -> object:
+    return dt.utcnow()  # expect: REP002
+
+
+def local_fields() -> object:
+    return time.localtime()  # expect: REP002

@@ -1,0 +1,23 @@
+"""REP005 good fixture: accounting through the MessageStats API."""
+
+from __future__ import annotations
+
+from repro.network.messages import MessageCategory
+from repro.network.radio import MessageStats
+
+
+def charge_query(stats: MessageStats, path: list[int]) -> None:
+    stats.record_path(MessageCategory.QUERY_FORWARD, path)
+
+
+def charge_single_hop(stats: MessageStats, sender: int, receiver: int) -> None:
+    stats.record(MessageCategory.INSERT, sender=sender, receiver=receiver)
+
+
+def read_ledger(stats: MessageStats) -> int:
+    # Reads are unrestricted; only writes must go through the API.
+    return stats.total + stats.count(MessageCategory.QUERY_REPLY)
+
+
+def scoped_measurement(stats: MessageStats) -> MessageStats:
+    return stats.scope("experiment")

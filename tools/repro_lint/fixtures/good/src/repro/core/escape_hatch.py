@@ -1,0 +1,26 @@
+"""Escape-hatch fixture: violations silenced by ignore directives.
+
+Every construct in here would fire without its directive; the good-corpus
+test proves the hatch works for single codes, code lists and bare ignores.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def deliberate_sentinel(denom: float) -> float | None:
+    if denom == 0.0:  # repro-lint: ignore[REP004]
+        return None
+    return 1.0 / denom
+
+
+def profiled_in_place(work: list[int]) -> float:
+    started = time.time()  # repro-lint: ignore[REP002]
+    for item in set(work):  # repro-lint: ignore[REP003]
+        print(item)
+    return time.time() - started  # repro-lint: ignore[REP002, REP004]
+
+
+def ignore_everything_on_line(xs: dict[int, int]) -> list[int]:
+    return list(set(xs))  # repro-lint: ignore

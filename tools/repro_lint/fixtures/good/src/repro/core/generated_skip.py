@@ -1,0 +1,12 @@
+# repro-lint: skip-file
+"""Skip-file fixture: a (pretend) generated module full of violations."""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+def regenerate() -> list[int]:
+    random.seed(time.time())
+    return [random.randint(0, 9) for _ in set("abc")]

@@ -1,0 +1,27 @@
+"""REP003 good fixture: deterministic iteration in an ordered package."""
+
+from __future__ import annotations
+
+
+def emit_all(tx: dict[int, int], rx: dict[int, int]) -> dict[int, int]:
+    return {node: 1 for node in sorted(set(tx) | set(rx))}
+
+
+def forward(neighbors: list[int], failed: frozenset[int]) -> None:
+    for node in sorted(set(neighbors) - failed):
+        print("send", node)
+
+
+def membership_is_fine(candidates: list[int], holders: set[int]) -> list[int]:
+    # Sets used for O(1) membership (not iteration) are the intended use.
+    return [node for node in candidates if node not in holders]
+
+
+def dict_iteration_is_fine(loads: dict[int, int]) -> list[int]:
+    # Dicts preserve insertion order; only *set* iteration is flagged.
+    return [node for node in loads]
+
+
+def aggregation_is_fine(holders: set[int]) -> int:
+    # Order-insensitive reductions over sets do not trip the rule.
+    return len(holders) + sum(holders) + max(holders, default=0)

@@ -1,0 +1,24 @@
+"""REP004 good fixture: tolerance-based float comparisons."""
+
+from __future__ import annotations
+
+import math
+
+_EPSILON = 1e-12
+
+
+def collinear(cross: float) -> bool:
+    return math.isclose(cross, 0.0, abs_tol=_EPSILON)
+
+
+def same_length(a: float, b: float) -> bool:
+    return abs(a - b) <= _EPSILON
+
+
+def ordering_is_fine(a: float, b: float) -> bool:
+    # Only == and != are hazards; ordered comparisons stay legal.
+    return a < b or a >= b + 1.0
+
+
+def int_equality_is_fine(count: int) -> bool:
+    return count == 0 or count != 3

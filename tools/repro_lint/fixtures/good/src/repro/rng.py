@@ -1,0 +1,13 @@
+"""REP001 allowlist fixture: this path suffix matches src/repro/rng.py.
+
+The rng module itself is the one place allowed to construct raw
+generators — that is the point of the allowlist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_generator(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,25 @@
+"""REP001 good fixture: randomness routed through repro.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import SeedLike, derive, ensure_generator
+
+
+def deploy(seed: SeedLike, n: int) -> "np.ndarray":
+    rng = ensure_generator(seed)
+    return rng.random((n, 2))
+
+
+def trial_stream(seed: SeedLike, trial: int) -> "np.random.Generator":
+    return derive(seed, "events", trial)
+
+
+def annotations_are_fine(rng: np.random.Generator) -> bool:
+    # Referencing numpy.random types (not constructing state) is legal.
+    return isinstance(rng, np.random.Generator)
+
+
+def drawing_is_fine(rng: np.random.Generator, n: int) -> "np.ndarray":
+    return rng.integers(0, 10, n)

@@ -1,0 +1,29 @@
+"""REP002 good fixture: monotonic timing and injected timestamps."""
+
+from __future__ import annotations
+
+import time
+from time import perf_counter
+from typing import Callable
+
+
+def measure(work: Callable[[], None]) -> float:
+    started = perf_counter()
+    work()
+    return perf_counter() - started
+
+
+def measure_module_style(work: Callable[[], None]) -> float:
+    started = time.perf_counter()
+    work()
+    return time.perf_counter() - started
+
+
+def export_header(generated_at: str) -> dict[str, str]:
+    # Timestamps arrive as parameters; deterministic paths never mint them.
+    return {"generated_at": generated_at}
+
+
+def sleepless(clock: Callable[[], float] = perf_counter) -> float:
+    # Injectable clocks are the telemetry layer's pattern and stay legal.
+    return clock()

@@ -1,0 +1,80 @@
+"""The ``# repro-lint: ignore[...]`` escape hatch.
+
+Suppression is comment-based so it survives reformatting and is visible in
+review.  Three forms are recognised:
+
+``# repro-lint: ignore[REP001]``
+    Suppress one code on this line.
+``# repro-lint: ignore[REP001, REP004]`` / ``# repro-lint: ignore``
+    Suppress several codes / every code on this line.
+``# repro-lint: skip-file``
+    Suppress the whole file (for generated code; use sparingly).
+
+The comment must sit on the same physical line the violation is reported on
+(for a flagged ``for`` loop that is the line of the ``for`` keyword).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[\s*(?P<codes>[A-Z0-9,\s]+?)\s*\])?\s*(?:#|$)"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file\b")
+
+
+@dataclass(frozen=True)
+class IgnoreMap:
+    """Per-line suppression directives extracted from one source file."""
+
+    skip_file: bool = False
+    #: line -> suppressed codes; ``None`` means "every code on this line".
+    lines: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    def is_ignored(self, line: int, code: str) -> bool:
+        """Whether a violation of ``code`` reported at ``line`` is suppressed."""
+        if self.skip_file:
+            return True
+        if line not in self.lines:
+            return False
+        codes = self.lines[line]
+        return codes is None or code in codes
+
+
+def collect_ignores(source: str) -> IgnoreMap:
+    """Scan ``source`` for suppression comments.
+
+    Uses :mod:`tokenize` rather than a line regex so directives inside string
+    literals are not mistaken for comments.
+    """
+    skip_file = False
+    lines: dict[int, frozenset[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            if _SKIP_FILE_RE.search(token.string):
+                skip_file = True
+            match = _IGNORE_RE.search(token.string)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            if raw is None:
+                lines[token.start[0]] = None
+            else:
+                codes = frozenset(
+                    part.strip() for part in raw.split(",") if part.strip()
+                )
+                existing = lines.get(token.start[0], frozenset())
+                if existing is None:
+                    continue  # an unconditional ignore already covers the line
+                lines[token.start[0]] = codes | existing
+    except tokenize.TokenError:
+        # Unterminated constructs: the AST parse will report the real error.
+        pass
+    return IgnoreMap(skip_file=skip_file, lines=lines)

@@ -9,10 +9,10 @@ the GHT paper that DCS systems are built on.
 
 from __future__ import annotations
 
-from repro.dcs import InsertReceipt, QueryResult
+from repro.dcs import InsertReceipt, QueryResult, resolve_result
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
-from repro.exceptions import DimensionMismatchError
+from repro.exceptions import DimensionMismatchError, UnreachableError
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
 
@@ -56,7 +56,15 @@ class ExternalStorage:
         src = source if source is not None else event.source
         if src is None:
             src = self.sink
-        path = self.network.unicast(MessageCategory.INSERT, src, self.sink)
+        try:
+            path = self.network.unicast(MessageCategory.INSERT, src, self.sink)
+        except UnreachableError as err:
+            return InsertReceipt(
+                home_node=self.sink,
+                hops=max(len(err.partial_path) - 1, 0),
+                detail="warehouse",
+                delivered=False,
+            )
         self._events.append(event)
         return InsertReceipt(
             home_node=self.sink, hops=len(path) - 1, detail="warehouse"
@@ -80,19 +88,44 @@ class ExternalStorage:
         events = [event for event in self._events if query.matches(event)]
         forward_cost = 0
         reply_cost = 0
+        warehouse_answered = True
         if sink != self.sink:
             # The query travels to the warehouse and one aggregated reply
             # comes back.
-            path = self.network.unicast(MessageCategory.QUERY_FORWARD, sink, self.sink)
-            forward_cost = len(path) - 1
-            self.network.stats.record(MessageCategory.QUERY_REPLY, forward_cost)
-            reply_cost = forward_cost
-        return QueryResult(
-            events=events,
+            try:
+                path = self.network.unicast(
+                    MessageCategory.QUERY_FORWARD, sink, self.sink
+                )
+            except UnreachableError as err:
+                forward_cost = max(len(err.partial_path) - 1, 0)
+                warehouse_answered = False
+                path = None
+            if path is not None:
+                forward_cost = len(path) - 1
+                if self.network.reliability is None:
+                    self.network.stats.record(
+                        MessageCategory.QUERY_REPLY, forward_cost
+                    )
+                    reply_cost = forward_cost
+                else:
+                    try:
+                        self.network.send_along(
+                            MessageCategory.QUERY_REPLY, list(reversed(path))
+                        )
+                        reply_cost = forward_cost
+                    except UnreachableError as err:
+                        reply_cost = max(len(err.partial_path) - 1, 0)
+                        warehouse_answered = False
+        return resolve_result(
+            events=events if warehouse_answered else [],
             forward_cost=forward_cost,
             reply_cost=reply_cost,
             visited_nodes=(self.sink,),
             detail="warehouse",
+            attempted_cells=1,
+            answered_cells=1 if warehouse_answered else 0,
+            unreachable_cells=() if warehouse_answered else ("warehouse",),
+            unreachable_nodes=() if warehouse_answered else (self.sink,),
         )
 
     @property

@@ -14,10 +14,10 @@ regardless of selectivity.
 
 from __future__ import annotations
 
-from repro.dcs import InsertReceipt, QueryResult
+from repro.dcs import InsertReceipt, QueryResult, resolve_result
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
-from repro.exceptions import DimensionMismatchError
+from repro.exceptions import DimensionMismatchError, UnreachableError
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
 
@@ -63,27 +63,42 @@ class LocalStorageFlooding:
             return result
 
     def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
-        # Controlled flood: one broadcast per node reaches everyone.
+        # Controlled flood: one broadcast per node reaches everyone.  A
+        # broadcast is not acknowledged hop-by-hop, so the flood itself
+        # is unaffected by unicast loss; only the GPSR reply legs are.
         forward_cost = self.network.size
         self.network.stats.record(MessageCategory.QUERY_FORWARD, forward_cost)
         events: list[Event] = []
         reply_cost = 0
         responders: list[int] = []
+        lost_responders: list[int] = []
         for node, stored in self._storage.items():
             matches = [event for event in stored if query.matches(event)]
             if not matches:
                 continue
-            events.extend(matches)
             responders.append(node)
             if node != sink:
-                path = self.network.unicast(MessageCategory.QUERY_REPLY, node, sink)
+                try:
+                    path = self.network.unicast(
+                        MessageCategory.QUERY_REPLY, node, sink
+                    )
+                except UnreachableError as err:
+                    # This responder's matches never reached the sink.
+                    reply_cost += max(len(err.partial_path) - 1, 0)
+                    lost_responders.append(node)
+                    continue
                 reply_cost += len(path) - 1
-        return QueryResult(
+            events.extend(matches)
+        return resolve_result(
             events=events,
             forward_cost=forward_cost,
             reply_cost=reply_cost,
             visited_nodes=tuple(sorted(responders)),
             detail="flood",
+            attempted_cells=len(responders),
+            answered_cells=len(responders) - len(lost_responders),
+            unreachable_cells=tuple(sorted(lost_responders)),
+            unreachable_nodes=tuple(sorted(lost_responders)),
         )
 
     @property

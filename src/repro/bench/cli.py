@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from time import perf_counter
 from typing import Any
 
@@ -27,6 +28,7 @@ from repro.bench.experiments import EXPERIMENTS, get_experiment
 from repro.bench.harness import run_experiment
 from repro.bench.reporting import render_result, render_telemetry, to_json
 from repro.exceptions import ValidationError
+from repro.network.reliability import FaultPlan
 from repro.telemetry.export import read_telemetry_jsonl, write_telemetry_jsonl
 
 __all__ = ["main", "build_parser"]
@@ -90,6 +92,32 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "per-link Bernoulli loss probability in [0, 1); 0.0 (default) "
+            "runs the seed's perfect-link accounting"
+        ),
+    )
+    parser.add_argument(
+        "--retry-limit",
+        type=int,
+        default=3,
+        metavar="N",
+        help="ARQ retransmissions allowed per hop before a delivery fails",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help=(
+            "JSON fault-injection plan (node deaths, link degradation "
+            "windows, message drop rules) applied during the run"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
     return parser
@@ -135,6 +163,14 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.experiment]
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValidationError, ValueError) as error:
+            print(f"cannot read {args.fault_plan}: {error}", file=sys.stderr)
+            return 1
+
     results: list[ExperimentResult] = []
     telemetry_records: list[dict[str, Any]] = []
     for name in names:
@@ -142,9 +178,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.scale != 1.0:
             config = config.scaled(args.scale)
         if args.trials is not None:
-            from dataclasses import replace
-
             config = replace(config, trials=args.trials)
+        if args.loss_rate or args.retry_limit != 3 or fault_plan is not None:
+            config = replace(
+                config,
+                loss_rate=args.loss_rate,
+                retry_limit=args.retry_limit,
+                fault_plan=fault_plan,
+            )
         started = perf_counter()
         result = run_experiment(
             config,

@@ -41,6 +41,7 @@ from repro.dim.index import DimIndex
 from repro.exceptions import ConfigurationError
 from repro.network.deployment import Deployment
 from repro.network.network import Network
+from repro.network.reliability import ArqPolicy, LossModel, ReliabilityLayer
 from repro.network.topology import Topology
 from repro.rng import derive
 from repro.telemetry.export import collect_system_record
@@ -68,6 +69,12 @@ class ResultRow:
     mean_insert_hops: float
     mean_visited_nodes: float
     mean_depth_hops: float = 0.0
+    # Reliability view (populated only when the run used a lossy channel):
+    # mean per-query completeness and delivered-vs-attempted hop
+    # transmissions summed over the cell's queries.
+    mean_completeness: float = 1.0
+    attempted_messages: int = 0
+    delivered_messages: int = 0
     # Wall-clock trajectory (seconds, means over trials).  Not part of
     # the deterministic row identity: two runs of the same seed agree on
     # every field above but naturally differ here.
@@ -99,6 +106,12 @@ class ResultRow:
             "mean_visited_nodes": round(self.mean_visited_nodes, 2),
             "mean_depth_hops": round(self.mean_depth_hops, 2),
         }
+        if self.attempted_messages:
+            # Only lossy runs carry the reliability fields, so lossless
+            # exports stay byte-identical to pre-reliability baselines.
+            payload["mean_completeness"] = round(self.mean_completeness, 6)
+            payload["attempted_messages"] = self.attempted_messages
+            payload["delivered_messages"] = self.delivered_messages
         if include_timings:
             payload["timings"] = {
                 "build_seconds": round(self.build_seconds, 6),
@@ -218,6 +231,25 @@ def _sink_node(topology: Topology) -> int:
     return topology.closest_node(topology.field.center)
 
 
+def _make_reliability(
+    config: ExperimentConfig, seed: int, size: int, trial: int
+) -> ReliabilityLayer | None:
+    """One reliability layer per system run, or ``None`` on perfect links.
+
+    The loss stream derives from ``(seed, size, trial)`` — not from the
+    system name — so every system under test faces the *same* channel
+    conditions, and the layer is rebuilt per system so counters and
+    fault-plan deaths never bleed between systems.
+    """
+    if config.loss_rate == 0.0 and config.fault_plan is None:
+        return None
+    return ReliabilityLayer(
+        loss=LossModel(config.loss_rate, seed=derive(seed, "loss", size, trial)),
+        arq=ArqPolicy(retry_limit=config.retry_limit),
+        fault_plan=config.fault_plan,
+    )
+
+
 @dataclass(slots=True)
 class _CellSamples:
     """Per-query samples accumulated across trials for one result cell."""
@@ -229,6 +261,9 @@ class _CellSamples:
     visited: list[float] = field(default_factory=list)
     insert_hops: list[float] = field(default_factory=list)
     depths: list[float] = field(default_factory=list)
+    completeness: list[float] = field(default_factory=list)
+    attempted: list[int] = field(default_factory=list)
+    delivered: list[int] = field(default_factory=list)
     build_s: list[float] = field(default_factory=list)
     insert_s: list[float] = field(default_factory=list)
     query_s: list[float] = field(default_factory=list)
@@ -242,6 +277,9 @@ class _CellSamples:
         self.visited.extend(other.visited)
         self.insert_hops.extend(other.insert_hops)
         self.depths.extend(other.depths)
+        self.completeness.extend(other.completeness)
+        self.attempted.extend(other.attempted)
+        self.delivered.extend(other.delivered)
         self.build_s.extend(other.build_s)
         self.insert_s.extend(other.insert_s)
         self.query_s.extend(other.query_s)
@@ -313,6 +351,12 @@ def _run_cell(
             # Set before the system scopes its own ledger off the facade
             # so the recorder propagates to every scope below.
             facade.telemetry = recorder
+        reliability = _make_reliability(config, seed, size, trial)
+        if reliability is not None:
+            # Same placement rule as the recorder: the layer must be on
+            # the facade before the system scopes its own network off it.
+            reliability.bind(deployment.topology)
+            facade.reliability = reliability
         system = build_system(system_name, facade, config, seed)
         insert_started = perf_counter()
         insert_hops = [system.insert(event).hops for event in events]
@@ -329,6 +373,10 @@ def _run_cell(
             cell.insert_s.append(insert_seconds)
             query_started = perf_counter()
             for query in queries:
+                attempted_before = delivered_before = 0
+                if reliability is not None:
+                    attempted_before = reliability.attempted
+                    delivered_before = reliability.delivered
                 result = system.query(sink, query)
                 cell.costs.append(result.total_cost)
                 cell.forwards.append(result.forward_cost)
@@ -336,6 +384,14 @@ def _run_cell(
                 cell.matches.append(result.match_count)
                 cell.visited.append(len(result.visited_nodes))
                 cell.depths.append(result.depth_hops)
+                if reliability is not None:
+                    cell.completeness.append(result.completeness)
+                    cell.attempted.append(
+                        reliability.attempted - attempted_before
+                    )
+                    cell.delivered.append(
+                        reliability.delivered - delivered_before
+                    )
             cell.query_s.append(perf_counter() - query_started)
         if telemetry:
             records.append(
@@ -445,6 +501,13 @@ def run_experiment(
                         mean_insert_hops=statistics.fmean(cell.insert_hops),
                         mean_visited_nodes=statistics.fmean(cell.visited),
                         mean_depth_hops=statistics.fmean(cell.depths),
+                        mean_completeness=(
+                            statistics.fmean(cell.completeness)
+                            if cell.completeness
+                            else 1.0
+                        ),
+                        attempted_messages=sum(cell.attempted),
+                        delivered_messages=sum(cell.delivered),
                         build_seconds=statistics.fmean(cell.build_s),
                         insert_seconds=statistics.fmean(cell.insert_s),
                         query_seconds=statistics.fmean(cell.query_s),

@@ -68,24 +68,30 @@ def _fmt(value: object) -> str:
 
 
 def result_table(result: ExperimentResult) -> Table:
-    """The main per-figure table: one row per (size, workload, system)."""
-    table = Table(
-        title=result.title,
-        headers=[
-            "size",
-            "workload",
-            "system",
-            "msgs/query",
-            "±std",
-            "forward",
-            "reply",
-            "matches",
-            "insert hops",
-            "depth",
-        ],
-    )
+    """The main per-figure table: one row per (size, workload, system).
+
+    Lossy runs grow two extra columns: the mean per-query completeness
+    and the delivered-vs-attempted hop transmissions for the cell.
+    Lossless runs render exactly the pre-reliability table.
+    """
+    lossy = any(row.attempted_messages for row in result.rows)
+    headers = [
+        "size",
+        "workload",
+        "system",
+        "msgs/query",
+        "±std",
+        "forward",
+        "reply",
+        "matches",
+        "insert hops",
+        "depth",
+    ]
+    if lossy:
+        headers += ["compl", "dlvr/att"]
+    table = Table(title=result.title, headers=headers)
     for row in result.rows:
-        table.add(
+        cells: list[object] = [
             row.size,
             row.workload,
             row.system,
@@ -96,7 +102,13 @@ def result_table(result: ExperimentResult) -> Table:
             row.mean_matches,
             row.mean_insert_hops,
             row.mean_depth_hops,
-        )
+        ]
+        if lossy:
+            cells += [
+                f"{row.mean_completeness:.3f}",
+                f"{row.delivered_messages}/{row.attempted_messages}",
+            ]
+        table.add(*cells)
     return table
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.events.generators import EventWorkload, QueryWorkload
 from repro.exceptions import ConfigurationError
+from repro.network.reliability import FaultPlan
 
 __all__ = ["ExperimentConfig", "PAPER_NETWORK_SIZES"]
 
@@ -61,6 +62,10 @@ class ExperimentConfig:
     # Pool options exercised by ablations.
     sharing_capacity: int | None = None
     route_via_splitter: bool = True
+    # Lossy-link reliability knobs (0.0 / None = the seed's perfect links).
+    loss_rate: float = 0.0
+    retry_limit: int = 3
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.network_sizes:
@@ -75,6 +80,14 @@ class ExperimentConfig:
             )
         if self.events_per_node < 0:
             raise ConfigurationError(f"{self.name}: events_per_node must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.retry_limit < 0:
+            raise ConfigurationError(
+                f"{self.name}: retry_limit must be >= 0, got {self.retry_limit}"
+            )
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         """A cheaper variant for smoke tests / pytest-benchmark runs.

@@ -44,17 +44,29 @@ __all__ = ["DistributedQueryRun", "run_query_on_simulator"]
 
 @dataclass(slots=True)
 class DistributedQueryRun:
-    """Outcome of one event-driven query execution."""
+    """Outcome of one event-driven query execution.
+
+    ``unreachable_nodes`` lists tree nodes whose answers never made it to
+    the sink (a relay or holder died while the query was in flight); the
+    run still completes gracefully with whatever the surviving branches
+    returned.
+    """
 
     events: list[Event]
     forward_cost: int
     reply_cost: int
     completed_at: float
     pools_visited: int
+    unreachable_nodes: tuple[int, ...] = ()
 
     @property
     def total_cost(self) -> int:
         return self.forward_cost + self.reply_cost
+
+    @property
+    def complete(self) -> bool:
+        """Did every launched branch deliver its answer?"""
+        return not self.unreachable_nodes
 
 
 @dataclass(slots=True)
@@ -65,6 +77,7 @@ class _PoolRun:
     children: dict[int, list[int]]
     pending: dict[int, int] = field(default_factory=dict)
     partials: dict[int, list[Event]] = field(default_factory=dict)
+    failed: set[int] = field(default_factory=set)
     done: bool = False
 
 
@@ -88,6 +101,7 @@ class _Execution:
         self.outstanding_pools = 0
         self.pools_visited = 0
         self.completed_at = 0.0
+        self.unreachable: set[int] = set()
 
     # ---------------------------- dissemination ----------------------- #
 
@@ -154,20 +168,73 @@ class _Execution:
             run.partials[node] = list(holders_events.get(node, ()))
         sink_path = sim.router.path(self.sink, splitter)
 
+        parents = {child: parent for parent, child in sorted(tree.edges)}
+
+        def finish_pool(pool_events: list[Event]) -> None:
+            if run.done:
+                return
+            run.done = True
+            self.events.extend(pool_events)
+            self.outstanding_pools -= 1
+            if self.outstanding_pools == 0:
+                self.completed_at = sim.now
+
+        def subtree_nodes(node: int) -> list[int]:
+            reached = [node]
+            stack = [node]
+            while stack:
+                for child in run.children.get(stack.pop(), ()):
+                    reached.append(child)
+                    stack.append(child)
+            return reached
+
+        def fail_branch(node: int) -> None:
+            # A relay/holder died with the query in flight: its whole
+            # subtree's answers are lost, but the rest of the tree (and
+            # the other pools) still resolve — graceful degradation, not
+            # a DeliveryError.
+            if node in run.failed:
+                return
+            branch = subtree_nodes(node)
+            run.failed.update(branch)
+            self.unreachable.update(branch)
+            parent = parents.get(node)
+            if parent is None:
+                finish_pool([])
+            else:
+                child_done(parent)
+
+        def child_done(parent: int) -> None:
+            run.pending[parent] -= 1
+            if run.pending[parent] == 0 and parent not in run.failed:
+                reply_up(parent)
+
         def deliver_to_splitter(index: int) -> None:
             if index < len(sink_path) - 1:
+                receiver = sink_path[index + 1]
                 sim.stats.record(
                     MessageCategory.QUERY_FORWARD,
                     sender=sink_path[index],
-                    receiver=sink_path[index + 1],
+                    receiver=receiver,
                 )
-                sim.schedule(
-                    sim.hop_latency, lambda: deliver_to_splitter(index + 1)
-                )
+
+                def forward_arrive() -> None:
+                    # Liveness decided when the hop lands: a dead relay
+                    # on the sink->splitter leg silences the whole pool.
+                    if not sim.nodes[receiver].alive:
+                        self.unreachable.update(tree.nodes())
+                        finish_pool([])
+                        return
+                    deliver_to_splitter(index + 1)
+
+                sim.schedule(sim.hop_latency, forward_arrive)
             else:
                 disseminate(splitter)
 
         def disseminate(node: int) -> None:
+            if not sim.nodes[node].alive:
+                fail_branch(node)
+                return
             kids = run.children.get(node, ())
             if not kids and run.pending[node] == 0:
                 reply_up(node)
@@ -178,9 +245,12 @@ class _Execution:
                 )
                 sim.schedule(sim.hop_latency, lambda c=child: disseminate(c))
 
-        parents = {child: parent for parent, child in tree.edges}
-
         def reply_up(node: int) -> None:
+            if node in run.failed:
+                return
+            if not sim.nodes[node].alive:
+                fail_branch(node)
+                return
             parent = parents.get(node)
             if parent is None:
                 pool_done(run.partials[node])
@@ -190,10 +260,11 @@ class _Execution:
             )
 
             def arrive() -> None:
+                if not sim.nodes[parent].alive:
+                    fail_branch(parent)
+                    return
                 run.partials[parent].extend(run.partials[node])
-                run.pending[parent] -= 1
-                if run.pending[parent] == 0:
-                    reply_up(parent)
+                child_done(parent)
 
             sim.schedule(sim.hop_latency, arrive)
 
@@ -201,17 +272,25 @@ class _Execution:
             # Splitter -> sink relay of the aggregated pool answer.
             def relay(index: int) -> None:
                 if index > 0:
+                    receiver = sink_path[index - 1]
                     sim.stats.record(
                         MessageCategory.QUERY_REPLY,
                         sender=sink_path[index],
-                        receiver=sink_path[index - 1],
+                        receiver=receiver,
                     )
-                    sim.schedule(sim.hop_latency, lambda: relay(index - 1))
+
+                    def reply_arrive() -> None:
+                        if not sim.nodes[receiver].alive:
+                            # The pool's combined answer died on the way
+                            # home; every contributor goes unanswered.
+                            self.unreachable.update(tree.nodes())
+                            finish_pool([])
+                            return
+                        relay(index - 1)
+
+                    sim.schedule(sim.hop_latency, reply_arrive)
                 else:
-                    self.events.extend(pool_events)
-                    self.outstanding_pools -= 1
-                    if self.outstanding_pools == 0:
-                        self.completed_at = sim.now
+                    finish_pool(pool_events)
             relay(len(sink_path) - 1)
 
         if len(sink_path) < 2:
@@ -269,4 +348,5 @@ def run_query_on_simulator(
         reply_cost=simulator.stats.count(MessageCategory.QUERY_REPLY),
         completed_at=execution.completed_at,
         pools_visited=execution.pools_visited,
+        unreachable_nodes=tuple(sorted(execution.unreachable)),
     )

@@ -26,10 +26,14 @@ from repro.core.resolve import query_ranges_for_pool, relevant_offsets
 from repro.aggregates import AggregateKind, AggregateState
 from repro.core.replication import FailureReport, ReplicationPolicy
 from repro.core.sharing import CellStore, SharingPolicy
-from repro.dcs import AggregateResult, InsertReceipt, QueryResult
+from repro.dcs import AggregateResult, InsertReceipt, QueryResult, resolve_result
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
-from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    UnreachableError,
+)
 from repro.geometry import distance_sq
 from repro.ght.ght import GeographicHashTable
 from repro.network.messages import MessageCategory
@@ -228,16 +232,33 @@ class PoolSystem:
         primary = self.index_node(cell)
         if src is None:
             src = primary  # detected at the index node itself: zero hops
-        path = self.network.unicast(MessageCategory.INSERT, src, primary)
+        try:
+            path = self.network.unicast(MessageCategory.INSERT, src, primary)
+        except UnreachableError as err:
+            # Lossy network ate the event en route: nothing is stored.
+            return InsertReceipt(
+                home_node=primary,
+                hops=max(len(err.partial_path) - 1, 0),
+                detail=placement,
+                delivered=False,
+            )
         hops = len(path) - 1
         store = self._store_for(placement)
         v_key = min(event.second_greatest_value, store.v_range[1])
         segment = store.segment_for(v_key)
         if segment.node != primary:
             # Delegated sub-range: the index node forwards one more leg.
-            extra = self.network.unicast(
-                MessageCategory.INSERT, primary, segment.node
-            )
+            try:
+                extra = self.network.unicast(
+                    MessageCategory.INSERT, primary, segment.node
+                )
+            except UnreachableError as err:
+                return InsertReceipt(
+                    home_node=segment.node,
+                    hops=hops + max(len(err.partial_path) - 1, 0),
+                    detail=placement,
+                    delivered=False,
+                )
             hops += len(extra) - 1
         segment.add(event, v_key)
         self._node_load[segment.node] = self._node_load.get(segment.node, 0) + 1
@@ -291,11 +312,15 @@ class PoolSystem:
             return ()
         cached = self._replica_nodes.get(key)
         topology = self.network.topology
-        if cached is not None and all(topology.is_alive(n) for n in cached):
+        holders = set(store.holders()) | {store.primary_node}
+        if (
+            cached is not None
+            and all(topology.is_alive(n) for n in cached)
+            and not set(cached) & holders
+        ):
             return cached
         pool_i, ho, vo = key
         center = self.grid.center(self.pools[pool_i].cell_at(ho, vo))
-        holders = set(store.holders())
         radius = max(2 * self.grid.cell_size, topology.radio_range)
         candidates: list[int] = []
         while len(candidates) < self.replication.replicas:
@@ -320,7 +345,14 @@ class PoolSystem:
         store = self._stores[key]
         hops = 0
         for replica in self._replica_nodes_for(key, store):
-            path = self.network.unicast(MessageCategory.REPLICATE, holder, replica)
+            try:
+                path = self.network.unicast(
+                    MessageCategory.REPLICATE, holder, replica
+                )
+            except UnreachableError as err:
+                # One replica copy lost; others still attempted.
+                hops += max(len(err.partial_path) - 1, 0)
+                continue
             hops += len(path) - 1
         return hops
 
@@ -379,11 +411,16 @@ class PoolSystem:
                 segment.node = new_holder
             if not topology.is_alive(store.primary_node):
                 store.primary_node = self.index_node(cell)
-            # Re-seed replicas lost to the failure.
-            if self.replication.enabled and len(alive_replicas) < len(old_replicas):
+            # Re-seed replicas lost to the failure — or *promoted*: when
+            # the re-elected index node was itself a replica, keeping it
+            # in the replica set would leave the cell with a duplicate
+            # holder/replica (and one failure away from losing both).
+            holders_now = set(store.holders()) | {store.primary_node}
+            surviving = [n for n in alive_replicas if n not in holders_now]
+            if self.replication.enabled and len(surviving) < len(old_replicas):
                 self._replica_nodes.pop(key, None)
                 new_replicas = self._replica_nodes_for(key, store)
-                fresh = [n for n in new_replicas if n not in alive_replicas]
+                fresh = [n for n in new_replicas if n not in surviving]
                 if fresh:
                     source = store.primary_node
                     total = store.total_events()
@@ -517,6 +554,8 @@ class PoolSystem:
             span.add_nodes(result.visited_nodes)
             span.attrs["pools_visited"] = result.detail.pools_visited
             span.attrs["matches"] = result.match_count
+            if self.network.reliability is not None:
+                span.attrs["completeness"] = round(result.completeness, 6)
             return result
 
     def _query_impl(
@@ -528,6 +567,10 @@ class PoolSystem:
         forward_cost = 0
         reply_cost = 0
         visited: list[int] = []
+        attempted_cells = 0
+        answered_cells = 0
+        unreachable_cells: list[Cell] = []
+        unreachable_nodes: dict[int, None] = {}
         for pool in self.pools:
             offsets = relevant_offsets(
                 query, pool.index, self.side_length, recorder=tel
@@ -537,25 +580,45 @@ class PoolSystem:
             derived = query_ranges_for_pool(query, pool.index)
             cells: list[Cell] = []
             destinations: dict[int, None] = {}
+            # Matches staged with their holder so a holder whose reply
+            # never reached the sink contributes nothing to the result.
+            staged: list[tuple[int, Event]] = []
+            cell_holders: list[tuple[Cell, frozenset[int]]] = []
             for ho, vo in offsets:
                 cell = pool.cell_at(ho, vo)
                 cells.append(cell)
                 store = self._stores.get((pool.index, ho, vo))
                 if store is None:
-                    destinations[self.index_node(cell)] = None
+                    node = self.index_node(cell)
+                    destinations[node] = None
+                    cell_holders.append((cell, frozenset((node,))))
                     continue
+                holders: set[int] = set()
                 for segment in store.segments_overlapping(derived.vertical):
                     destinations[segment.node] = None
+                    holders.add(segment.node)
                     for event, key in zip(segment.events, segment.keys):
                         if query.matches(event):
-                            events.append(event)
+                            staged.append((segment.node, event))
+                cell_holders.append((cell, frozenset(holders)))
             dest_nodes = list(destinations)
-            plan = self._forward(sink, pool.index, cells, dest_nodes)
+            plan, answered = self._forward(sink, pool.index, cells, dest_nodes)
             detail.plans.append(plan)
             forward_cost += plan.forward_cost
             reply_cost += plan.forward_cost  # aggregated replies retrace it
             visited.extend(dest_nodes)
-        return QueryResult(
+            attempted_cells += len(cell_holders)
+            for cell, cell_nodes in cell_holders:
+                if cell_nodes <= answered:
+                    answered_cells += 1
+                else:
+                    unreachable_cells.append(cell)
+                    for node in sorted(cell_nodes - answered):
+                        unreachable_nodes[node] = None
+            events.extend(
+                event for holder, event in staged if holder in answered
+            )
+        return resolve_result(
             events=events,
             forward_cost=forward_cost,
             reply_cost=reply_cost,
@@ -565,6 +628,10 @@ class PoolSystem:
             depth_hops=max(
                 (plan.depth_hops for plan in detail.plans), default=0
             ),
+            attempted_cells=attempted_cells,
+            answered_cells=answered_cells,
+            unreachable_cells=tuple(unreachable_cells),
+            unreachable_nodes=tuple(unreachable_nodes),
         )
 
     def explain(self, sink: int, query: RangeQuery) -> str:
@@ -645,33 +712,68 @@ class PoolSystem:
 
     def _forward(
         self, sink: int, pool: int, cells: list[Cell], destinations: list[int]
-    ) -> PoolPlan:
-        """Charge the forwarding (and implicitly reply) messages for a Pool."""
+    ) -> tuple[PoolPlan, frozenset[int]]:
+        """Charge the forwarding (and implicitly reply) messages for a Pool.
+
+        Returns the plan plus the set of tree nodes whose aggregated
+        reply actually reached the sink.  On a lossless facade that is
+        every destination; under a reliability layer an unreachable
+        splitter (or a lost splitter→sink reply) empties the set and the
+        caller degrades the whole Pool to unanswered.
+        """
         tel = self.network.telemetry
         if tel is not None:
             return self._forward_instrumented(sink, pool, cells, destinations, tel)
         if self.route_via_splitter:
             splitter = self.splitter(sink, pool)
-            path = self.network.unicast(MessageCategory.QUERY_FORWARD, sink, splitter)
+            try:
+                path = self.network.unicast(
+                    MessageCategory.QUERY_FORWARD, sink, splitter
+                )
+            except UnreachableError as err:
+                hops = max(len(err.partial_path) - 1, 0)
+                plan = PoolPlan(
+                    pool=pool,
+                    splitter=splitter,
+                    cells=tuple(cells),
+                    index_nodes=tuple(destinations),
+                    sink_to_splitter_hops=hops,
+                    tree_edges=0,
+                    depth_hops=hops,
+                )
+                return plan, frozenset()
             sink_hops = len(path) - 1
             root = splitter
         else:
             splitter = sink
             sink_hops = 0
             root = sink
-        tree = self.network.multicast(MessageCategory.QUERY_FORWARD, root, destinations)
+            path = [sink]
+        delivery = self.network.disseminate(
+            MessageCategory.QUERY_FORWARD, root, destinations
+        )
         # Aggregated replies: back down the tree, then splitter -> sink.
-        self.network.reply_up_tree(MessageCategory.QUERY_REPLY, tree)
-        self.network.stats.record(MessageCategory.QUERY_REPLY, sink_hops)
+        answered, _ = self.network.collect_up_tree(
+            MessageCategory.QUERY_REPLY, delivery
+        )
+        if self.network.reliability is None:
+            self.network.stats.record(MessageCategory.QUERY_REPLY, sink_hops)
+        else:
+            try:
+                self.network.send_along(
+                    MessageCategory.QUERY_REPLY, list(reversed(path))
+                )
+            except UnreachableError:
+                answered = frozenset()
         return PoolPlan(
             pool=pool,
             splitter=splitter,
             cells=tuple(cells),
             index_nodes=tuple(destinations),
             sink_to_splitter_hops=sink_hops,
-            tree_edges=tree.forward_cost,
-            depth_hops=sink_hops + tree.height(),
-        )
+            tree_edges=delivery.attempted_edges,
+            depth_hops=sink_hops + delivery.tree.height(),
+        ), answered
 
     def _forward_instrumented(
         self,
@@ -680,21 +782,46 @@ class PoolSystem:
         cells: list[Cell],
         destinations: list[int],
         tel: "SpanRecorder",
-    ) -> PoolPlan:
+    ) -> tuple[PoolPlan, frozenset[int]]:
         """The `_forward` path with the Section 3.2.3 lifecycle spanned.
 
         Span tree per Pool: ``pool-fanout`` wrapping ``sink-to-splitter``
         (the unicast leg), ``cell-fanout`` (recorded by the tree builder)
         and ``reply-aggregation`` (the replies retracing the tree, then
         splitter → sink).  Message totals mirror the ledger exactly.
+        Under a reliability layer a ``delivery-failure`` event span marks
+        an unreachable splitter, and ``reply-aggregation`` gains an
+        ``answered`` attribute.
         """
+        rel = self.network.reliability
         with tel.span("pool-fanout", phase="forward", pool=pool) as pool_span:
             if self.route_via_splitter:
                 splitter = self.splitter(sink, pool)
                 with tel.span("sink-to-splitter", phase="forward", pool=pool) as leg:
-                    path = self.network.unicast(
-                        MessageCategory.QUERY_FORWARD, sink, splitter
-                    )
+                    try:
+                        path = self.network.unicast(
+                            MessageCategory.QUERY_FORWARD, sink, splitter
+                        )
+                    except UnreachableError as err:
+                        hops = max(len(err.partial_path) - 1, 0)
+                        leg.add_messages(hops)
+                        leg.add_nodes(err.partial_path)
+                        tel.record(
+                            "delivery-failure",
+                            phase="forward",
+                            pool=pool,
+                            unreachable=splitter,
+                        )
+                        plan = PoolPlan(
+                            pool=pool,
+                            splitter=splitter,
+                            cells=tuple(cells),
+                            index_nodes=tuple(destinations),
+                            sink_to_splitter_hops=hops,
+                            tree_edges=0,
+                            depth_hops=hops,
+                        )
+                        return plan, frozenset()
                     leg.add_messages(len(path) - 1)
                     leg.add_nodes(path)
                 sink_hops = len(path) - 1
@@ -703,15 +830,31 @@ class PoolSystem:
                 splitter = sink
                 sink_hops = 0
                 root = sink
-            tree = self.network.multicast(
+                path = [sink]
+            delivery = self.network.disseminate(
                 MessageCategory.QUERY_FORWARD, root, destinations
             )
+            tree = delivery.tree
             with tel.span("reply-aggregation", phase="reply", pool=pool) as reply:
-                self.network.reply_up_tree(MessageCategory.QUERY_REPLY, tree)
-                self.network.stats.record(MessageCategory.QUERY_REPLY, sink_hops)
-                reply.add_messages(tree.reply_cost + sink_hops)
+                answered, reply_messages = self.network.collect_up_tree(
+                    MessageCategory.QUERY_REPLY, delivery
+                )
+                if rel is None:
+                    self.network.stats.record(
+                        MessageCategory.QUERY_REPLY, sink_hops
+                    )
+                else:
+                    try:
+                        self.network.send_along(
+                            MessageCategory.QUERY_REPLY, list(reversed(path))
+                        )
+                    except UnreachableError:
+                        answered = frozenset()
+                reply.add_messages(reply_messages + sink_hops)
                 reply.add_nodes(tree.nodes())
-            pool_span.add_messages(2 * (sink_hops + tree.forward_cost))
+                if rel is not None:
+                    reply.attrs["answered"] = len(answered)
+            pool_span.add_messages(2 * (sink_hops + delivery.attempted_edges))
             pool_span.add_nodes(destinations)
         return PoolPlan(
             pool=pool,
@@ -719,9 +862,9 @@ class PoolSystem:
             cells=tuple(cells),
             index_nodes=tuple(destinations),
             sink_to_splitter_hops=sink_hops,
-            tree_edges=tree.forward_cost,
+            tree_edges=delivery.attempted_edges,
             depth_hops=sink_hops + tree.height(),
-        )
+        ), answered
 
     # ------------------------------------------------------------------ #
     # Introspection                                                      #

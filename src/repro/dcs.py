@@ -19,6 +19,8 @@ from repro.events.queries import RangeQuery
 __all__ = [
     "InsertReceipt",
     "QueryResult",
+    "PartialResult",
+    "resolve_result",
     "AggregateResult",
     "DataCentricStore",
 ]
@@ -36,11 +38,16 @@ class InsertReceipt:
         One-hop transmissions spent routing the event there.
     detail:
         System-specific placement info (Pool cell, DIM zone code, ...).
+    delivered:
+        False when a lossy network dropped the event before it reached a
+        home node (the ARQ budget of some hop was exhausted); the event
+        is *not* stored anywhere and ``home_node`` is the intended home.
     """
 
     home_node: int
     hops: int
     detail: Any = None
+    delivered: bool = True
 
 
 @dataclass(slots=True)
@@ -74,6 +81,96 @@ class QueryResult:
     def match_count(self) -> int:
         """Number of qualifying events returned."""
         return len(self.events)
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of query-relevant cells that answered (1.0 here)."""
+        return 1.0
+
+    @property
+    def is_partial(self) -> bool:
+        """Did any query-relevant cell fail to answer?"""
+        return False
+
+
+@dataclass(slots=True)
+class PartialResult(QueryResult):
+    """A query that resolved gracefully despite unreachable cells.
+
+    When the reliability layer exhausts a hop's retry budget mid-query —
+    a splitter that cannot be reached, a forwarding-tree branch that died
+    in flight, a reply hop that stayed lossy — the query does *not* raise
+    :class:`~repro.exceptions.DeliveryError`.  It resolves to this
+    subtype carrying whatever the reachable cells answered, plus an
+    honest account of what is missing.  ``events`` contains only matches
+    from cells whose replies actually reached the sink.
+
+    ``unreachable_cells`` uses each system's native cell identity (Pool
+    ``Cell``, DIM zone code, DIFS leaf range, responder node id, ...).
+    """
+
+    unreachable_cells: tuple[Any, ...] = ()
+    unreachable_nodes: tuple[int, ...] = ()
+    attempted_cells: int = 0
+    answered_cells: int = 0
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of query-relevant cells that answered."""
+        if self.attempted_cells == 0:
+            return 1.0
+        return self.answered_cells / self.attempted_cells
+
+    @property
+    def is_partial(self) -> bool:
+        return True
+
+
+def resolve_result(
+    *,
+    events: list[Event],
+    forward_cost: int,
+    reply_cost: int,
+    visited_nodes: tuple[int, ...] = (),
+    detail: Any = None,
+    depth_hops: int = 0,
+    attempted_cells: int,
+    answered_cells: int,
+    unreachable_cells: tuple[Any, ...] = (),
+    unreachable_nodes: tuple[int, ...] = (),
+) -> QueryResult:
+    """Build a :class:`QueryResult`, degrading to :class:`PartialResult`.
+
+    Storage systems funnel their query outcomes through this helper so
+    the "everything answered" case keeps returning the plain result type
+    (bitwise-compatible with the lossless stack) while any shortfall
+    yields a partial result with the unreachable sets attached.
+    """
+    if (
+        answered_cells >= attempted_cells
+        and not unreachable_cells
+        and not unreachable_nodes
+    ):
+        return QueryResult(
+            events=events,
+            forward_cost=forward_cost,
+            reply_cost=reply_cost,
+            visited_nodes=visited_nodes,
+            detail=detail,
+            depth_hops=depth_hops,
+        )
+    return PartialResult(
+        events=events,
+        forward_cost=forward_cost,
+        reply_cost=reply_cost,
+        visited_nodes=visited_nodes,
+        detail=detail,
+        depth_hops=depth_hops,
+        unreachable_cells=tuple(unreachable_cells),
+        unreachable_nodes=tuple(unreachable_nodes),
+        attempted_cells=attempted_cells,
+        answered_cells=answered_cells,
+    )
 
 
 @dataclass(slots=True)

@@ -28,10 +28,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dcs import InsertReceipt, QueryResult
+from repro.dcs import InsertReceipt, QueryResult, resolve_result
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
-from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    UnreachableError,
+)
 from repro.ght.ght import GeographicHashTable
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
@@ -202,14 +206,28 @@ class DifsIndex:
         src = source if source is not None else event.source
         if src is None:
             src = leaf_node
-        path = self.network.unicast(MessageCategory.INSERT, src, leaf_node)
+        try:
+            path = self.network.unicast(MessageCategory.INSERT, src, leaf_node)
+        except UnreachableError as err:
+            return InsertReceipt(
+                home_node=leaf_node,
+                hops=max(len(err.partial_path) - 1, 0),
+                detail=(leaf.lo, leaf.hi),
+                delivered=False,
+            )
         hops = len(path) - 1
         previous = leaf_node
         for ancestor in self.ancestors(leaf):
             ancestor_node = self.index_node_of(ancestor)
-            update = self.network.unicast(
-                MessageCategory.INSERT, previous, ancestor_node
-            )
+            try:
+                update = self.network.unicast(
+                    MessageCategory.INSERT, previous, ancestor_node
+                )
+            except UnreachableError as err:
+                # A lost histogram update leaves the ancestor stale, but
+                # the event itself is safely stored at the leaf.
+                hops += max(len(err.partial_path) - 1, 0)
+                break
             hops += len(update) - 1
             previous = ancestor_node
         self._storage.setdefault((leaf.lo, leaf.hi), []).append(event)
@@ -250,6 +268,57 @@ class DifsIndex:
         destinations = sorted(
             {self.index_node_of(leaf) for leaf in leaf_ranges}
         )
+        if not destinations or destinations == [sink]:
+            events, fetched = self._fetch(leaf_ranges, query)
+            return QueryResult(
+                events=events,
+                forward_cost=0,
+                reply_cost=0,
+                visited_nodes=tuple(destinations),
+                detail=DifsQueryDetail(
+                    canonical_ranges=tuple((r.lo, r.hi) for r in ranges),
+                    index_nodes=tuple(destinations),
+                    post_filtered=fetched - len(events),
+                ),
+            )
+        delivery = self.network.disseminate(
+            MessageCategory.QUERY_FORWARD, sink, destinations
+        )
+        answered, reply = self.network.collect_up_tree(
+            MessageCategory.QUERY_REPLY, delivery
+        )
+        # A leaf answers only when its index node's reply reached the sink.
+        answered_leaves = [
+            leaf for leaf in leaf_ranges if self.index_node_of(leaf) in answered
+        ]
+        events, fetched = self._fetch(answered_leaves, query)
+        return resolve_result(
+            events=events,
+            forward_cost=delivery.attempted_edges,
+            reply_cost=reply,
+            visited_nodes=tuple(destinations),
+            detail=DifsQueryDetail(
+                canonical_ranges=tuple((r.lo, r.hi) for r in ranges),
+                index_nodes=tuple(destinations),
+                post_filtered=fetched - len(events),
+            ),
+            depth_hops=delivery.tree.height(),
+            attempted_cells=len(leaf_ranges),
+            answered_cells=len(answered_leaves),
+            unreachable_cells=tuple(
+                (leaf.lo, leaf.hi)
+                for leaf in leaf_ranges
+                if self.index_node_of(leaf) not in answered
+            ),
+            unreachable_nodes=tuple(
+                node for node in destinations if node not in answered
+            ),
+        )
+
+    def _fetch(
+        self, leaf_ranges: list[_IndexRange], query: RangeQuery
+    ) -> tuple[list[Event], int]:
+        """Retrieve and post-filter matches held under ``leaf_ranges``."""
         events: list[Event] = []
         fetched = 0
         for leaf in leaf_ranges:
@@ -257,31 +326,7 @@ class DifsIndex:
                 fetched += 1
                 if query.matches(event):
                     events.append(event)
-        detail = DifsQueryDetail(
-            canonical_ranges=tuple((r.lo, r.hi) for r in ranges),
-            index_nodes=tuple(destinations),
-            post_filtered=fetched - len(events),
-        )
-        if not destinations or destinations == [sink]:
-            return QueryResult(
-                events=events,
-                forward_cost=0,
-                reply_cost=0,
-                visited_nodes=tuple(destinations),
-                detail=detail,
-            )
-        tree = self.network.multicast(
-            MessageCategory.QUERY_FORWARD, sink, destinations
-        )
-        reply = self.network.reply_up_tree(MessageCategory.QUERY_REPLY, tree)
-        return QueryResult(
-            events=events,
-            forward_cost=tree.forward_cost,
-            reply_cost=reply,
-            visited_nodes=tuple(destinations),
-            detail=detail,
-            depth_hops=tree.height(),
-        )
+        return events, fetched
 
     def _leaves_under(self, node: _IndexRange) -> list[_IndexRange]:
         if node.depth == self.depth:

@@ -13,12 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.aggregates import AggregateKind, AggregateState
-from repro.dcs import AggregateResult, InsertReceipt, QueryResult
+from repro.dcs import AggregateResult, InsertReceipt, QueryResult, resolve_result
 from repro.exceptions import ConfigurationError
 from repro.dim.zones import Zone, ZoneTree
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
-from repro.exceptions import DimensionMismatchError
+from repro.exceptions import DimensionMismatchError, UnreachableError
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
 
@@ -69,7 +69,15 @@ class DimIndex:
         src = source if source is not None else event.source
         if src is None:
             src = leaf.owner  # locally detected at the owner: zero hops
-        path = self.network.unicast(MessageCategory.INSERT, src, leaf.owner)
+        try:
+            path = self.network.unicast(MessageCategory.INSERT, src, leaf.owner)
+        except UnreachableError as err:
+            return InsertReceipt(
+                home_node=leaf.owner,
+                hops=max(len(err.partial_path) - 1, 0),
+                detail=leaf.code,
+                delivered=False,
+            )
         self._storage.setdefault(leaf.code, []).append(event)
         self._event_count += 1
         return InsertReceipt(
@@ -100,7 +108,6 @@ class DimIndex:
     def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
         zones = self.tree.zones_for_query(query)
         owners = sorted({zone.owner for zone in zones})
-        events = self._collect(zones, query)
         detail = DimQueryDetail(
             zone_codes=tuple(zone.code for zone in zones),
             owner_nodes=tuple(owners),
@@ -108,21 +115,37 @@ class DimIndex:
         if not owners or owners == [sink]:
             # Everything is local to the sink: no radio traffic.
             return QueryResult(
-                events=events,
+                events=self._collect(zones, query),
                 forward_cost=0,
                 reply_cost=0,
                 visited_nodes=tuple(owners),
                 detail=detail,
             )
-        tree = self.network.multicast(MessageCategory.QUERY_FORWARD, sink, owners)
-        reply_cost = self.network.reply_up_tree(MessageCategory.QUERY_REPLY, tree)
-        return QueryResult(
+        delivery = self.network.disseminate(
+            MessageCategory.QUERY_FORWARD, sink, owners
+        )
+        answered, reply_cost = self.network.collect_up_tree(
+            MessageCategory.QUERY_REPLY, delivery
+        )
+        # A zone answers only when its owner's reply reached the sink.
+        events = self._collect(
+            [zone for zone in zones if zone.owner in answered], query
+        )
+        return resolve_result(
             events=events,
-            forward_cost=tree.forward_cost,
+            forward_cost=delivery.attempted_edges,
             reply_cost=reply_cost,
             visited_nodes=tuple(owners),
             detail=detail,
-            depth_hops=tree.height(),
+            depth_hops=delivery.tree.height(),
+            attempted_cells=len(zones),
+            answered_cells=sum(1 for zone in zones if zone.owner in answered),
+            unreachable_cells=tuple(
+                zone.code for zone in zones if zone.owner not in answered
+            ),
+            unreachable_nodes=tuple(
+                owner for owner in owners if owner not in answered
+            ),
         )
 
     def aggregate(

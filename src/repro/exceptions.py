@@ -14,6 +14,7 @@ __all__ = [
     "DimensionMismatchError",
     "RoutingError",
     "DeliveryError",
+    "UnreachableError",
     "TopologyError",
     "StorageError",
     "CapacityError",
@@ -58,6 +59,28 @@ class DeliveryError(RoutingError):
     def __init__(self, message: str, partial_path: list[int] | None = None) -> None:
         super().__init__(message)
         self.partial_path: list[int] = partial_path or []
+
+
+class UnreachableError(DeliveryError):
+    """ARQ gave up: a hop stayed undeliverable after the retry budget.
+
+    Raised by the reliability layer when a one-hop transmission (plus all
+    of its retransmissions) was lost — link loss, a degradation window or
+    the receiver dying mid-exchange.  ``failed_hop`` names the
+    ``(sender, receiver)`` pair that exhausted its budget; storage
+    systems catch this and degrade to a partial result instead of
+    propagating.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        partial_path: list[int] | None = None,
+        *,
+        failed_hop: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__(message, partial_path)
+        self.failed_hop = failed_hop
 
 
 class StorageError(ReproError):

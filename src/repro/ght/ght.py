@@ -25,7 +25,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, UnreachableError
 from repro.geometry import Point
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
@@ -42,6 +42,7 @@ class GhtReceipt:
     home_point: Point
     hops: int
     values: list[Any] = field(default_factory=list)
+    delivered: bool = True
 
 
 class GeographicHashTable:
@@ -90,7 +91,19 @@ class GeographicHashTable:
     def put(self, src: int, key: Hashable, value: Any) -> GhtReceipt:
         """Store ``value`` under ``key`` at the key's home node."""
         point = self.hash_point(key)
-        home, path = self.network.unicast_to_point(MessageCategory.DHT, src, point)
+        try:
+            home, path = self.network.unicast_to_point(
+                MessageCategory.DHT, src, point
+            )
+        except UnreachableError as err:
+            return GhtReceipt(
+                key,
+                self.network.closest_node(point),
+                point,
+                hops=max(len(err.partial_path) - 1, 0),
+                values=[],
+                delivered=False,
+            )
         self._store.setdefault(home, {}).setdefault(key, []).append(value)
         return GhtReceipt(key, home, point, hops=len(path) - 1, values=[value])
 
@@ -101,10 +114,33 @@ class GeographicHashTable:
         hop on the reverse path (the reply carries all values at once).
         """
         point = self.hash_point(key)
-        home, path = self.network.unicast_to_point(MessageCategory.DHT, src, point)
+        try:
+            home, path = self.network.unicast_to_point(
+                MessageCategory.DHT, src, point
+            )
+        except UnreachableError as err:
+            return GhtReceipt(
+                key,
+                self.network.closest_node(point),
+                point,
+                hops=max(len(err.partial_path) - 1, 0),
+                values=[],
+                delivered=False,
+            )
         values = list(self._store.get(home, {}).get(key, []))
         # Reply retraces the request path.
-        self.network.stats.record_path(MessageCategory.DHT, list(reversed(path)))
+        try:
+            self.network.send_along(MessageCategory.DHT, list(reversed(path)))
+        except UnreachableError:
+            # The answer was lost on the way back; the request still paid.
+            return GhtReceipt(
+                key,
+                home,
+                point,
+                hops=2 * (len(path) - 1),
+                values=[],
+                delivered=False,
+            )
         return GhtReceipt(key, home, point, hops=2 * (len(path) - 1), values=values)
 
     def storage_distribution(self) -> dict[int, int]:

@@ -39,6 +39,13 @@ class MessageCategory(enum.Enum):
     REPLICATE = "replicate"
     #: Anything an application sends directly.
     APPLICATION = "application"
+    #: ARQ retransmission of a lost one-hop transmission (the first
+    #: attempt stays charged under its original category).
+    RETRANSMIT = "retransmit"
+    #: Explicit ACK closing a recovered ARQ exchange.  First-try
+    #: successes are acknowledged passively (overhearing the receiver's
+    #: own forward transmission), so a lossless network charges none.
+    ACK = "ack"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -29,9 +29,10 @@ from repro.geometry import Point
 from repro.network.deployment import Deployment
 from repro.network.radio import EnergyModel, MessageStats
 from repro.network.messages import MessageCategory
+from repro.network.reliability import ReliabilityLayer
 from repro.network.topology import Topology
 from repro.routing.gpsr import GPSRRouter
-from repro.routing.multicast import MulticastTree, TreeBuilder
+from repro.routing.multicast import MulticastTree, TreeBuilder, TreeDelivery
 from repro.routing.planarization import PlanarizationKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -73,6 +74,7 @@ class Network:
         energy_model: EnergyModel | None = None,
         stats: MessageStats | None = None,
         telemetry: "SpanRecorder | None" = None,
+        reliability: ReliabilityLayer | None = None,
     ) -> None:
         if (topology is None) == (deployment is None):
             raise ConfigurationError(
@@ -85,6 +87,9 @@ class Network:
         self.stats = stats if stats is not None else MessageStats()
         self.energy_model = energy_model or EnergyModel()
         self.telemetry = telemetry
+        self.reliability = reliability
+        if reliability is not None:
+            reliability.bind(self.topology)
 
     # ------------------------------------------------------------------ #
     # Deployment access                                                  #
@@ -118,6 +123,7 @@ class Network:
             energy_model=self.energy_model,
             stats=self.stats.scope(label),
             telemetry=self.telemetry,
+            reliability=self.reliability,
         )
 
     # ------------------------------------------------------------------ #
@@ -169,9 +175,13 @@ class Network:
     def unicast(
         self, category: MessageCategory, src: int, dst: int
     ) -> list[int]:
-        """Send one logical message ``src -> dst``; returns the hop path."""
+        """Send one logical message ``src -> dst``; returns the hop path.
+
+        Under a reliability layer each hop runs ARQ; an exhausted hop
+        raises :class:`~repro.exceptions.UnreachableError`.
+        """
         path = self.router.path(src, dst)
-        self.stats.record_path(category, path)
+        self.send_along(category, path)
         return path
 
     def unicast_to_point(
@@ -179,8 +189,23 @@ class Network:
     ) -> tuple[int, list[int]]:
         """Send to a geographic location; returns ``(home_node, path)``."""
         path = self.router.path_to_point(src, point)
-        self.stats.record_path(category, path)
+        self.send_along(category, path)
         return path[-1], path
+
+    def send_along(
+        self, category: MessageCategory, path: Sequence[int]
+    ) -> None:
+        """Charge a concrete hop path, reliability-aware.
+
+        Without a reliability layer this is exactly
+        ``stats.record_path``; with one, each hop runs ARQ and an
+        exhausted hop raises :class:`~repro.exceptions.UnreachableError`
+        carrying the delivered prefix.
+        """
+        if self.reliability is None:
+            self.stats.record_path(category, path)
+        else:
+            self.reliability.send_path(category, path, self.stats)
 
     def multicast(
         self,
@@ -192,13 +217,96 @@ class Network:
 
         Records one transmission per tree edge under ``category`` and
         returns the tree (callers typically follow up with
-        :meth:`reply_up_tree`).
+        :meth:`reply_up_tree`).  Under a reliability layer this delegates
+        to :meth:`disseminate`; callers that need the delivery outcome
+        (reached/unreachable sets) should call :meth:`disseminate`
+        directly.
+        """
+        return self.disseminate(category, src, destinations).tree
+
+    def disseminate(
+        self,
+        category: MessageCategory,
+        src: int,
+        destinations: Sequence[int],
+    ) -> TreeDelivery:
+        """Push one message down a merged tree, reporting who received it.
+
+        Without a reliability layer every tree node is reached and the
+        whole dissemination is charged in bulk (one transmission per
+        edge, identical to the historical :meth:`multicast` accounting).
+        With one, edges are attempted in deterministic BFS order (parents
+        before children, siblings sorted); an edge whose ARQ budget is
+        exhausted prunes its subtree — a branch that never heard the
+        query cannot relay it.
         """
         builder = TreeBuilder(self.router, src, recorder=self.telemetry)
         builder.add_destinations(list(destinations))
         tree = builder.build()
-        self.stats.record(category, tree.forward_cost)
-        return tree
+        rel = self.reliability
+        if rel is None:
+            self.stats.record(category, tree.forward_cost)
+            return TreeDelivery(
+                tree=tree,
+                reached=frozenset(tree.nodes()),
+                attempted_edges=tree.forward_cost,
+            )
+        children = tree.children()
+        reached = {src}
+        attempted = 0
+        frontier = [src]
+        while frontier:
+            parent = frontier.pop(0)
+            for child in children.get(parent, ()):
+                attempted += 1
+                if rel.deliver_hop(category, parent, child, self.stats):
+                    reached.add(child)
+                    frontier.append(child)
+        return TreeDelivery(
+            tree=tree, reached=frozenset(reached), attempted_edges=attempted
+        )
+
+    def collect_up_tree(
+        self, category: MessageCategory, delivery: TreeDelivery
+    ) -> tuple[frozenset[int], int]:
+        """Aggregate replies up a delivered tree.
+
+        Returns ``(answered, reply_messages)`` where ``answered`` is the
+        set of tree nodes whose reply reached the root (replies merge at
+        branch points; a lost child→parent hop silences that child's
+        whole aggregated subtree) and ``reply_messages`` counts attempted
+        reply transmissions (first attempts, matching ``reply_cost`` when
+        nothing is lost).  Reached nodes reply deepest-first so the
+        transmission-tick order is deterministic.
+        """
+        tree = delivery.tree
+        rel = self.reliability
+        if rel is None:
+            cost = tree.reply_cost
+            self.stats.record(category, cost)
+            return frozenset(tree.nodes()), cost
+        reply_edges = [
+            (parent, child)
+            for parent, child in sorted(tree.edges)
+            if child in delivery.reached
+        ]
+        reply_edges.sort(key=lambda edge: (-tree.depth_of(edge[1]), edge[1]))
+        hop_ok: dict[int, bool] = {}
+        for parent, child in reply_edges:
+            hop_ok[child] = rel.deliver_hop(category, child, parent, self.stats)
+        parents = {child: parent for parent, child in sorted(tree.edges)}
+        answered: set[int] = set()
+        for node in sorted(delivery.reached):
+            current = node
+            ok = True
+            while current != tree.root:
+                if not hop_ok.get(current, False):
+                    ok = False
+                    break
+                current = parents[current]
+            if ok:
+                answered.add(node)
+        return frozenset(answered), len(reply_edges)
 
     def reply_up_tree(
         self, category: MessageCategory, tree: MulticastTree

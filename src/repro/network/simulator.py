@@ -28,6 +28,7 @@ from repro.exceptions import ConfigurationError, DeliveryError
 from repro.network.messages import Message, MessageCategory
 from repro.network.node import SimNode
 from repro.network.radio import MessageStats
+from repro.network.reliability import ReliabilityLayer
 from repro.network.topology import Topology
 from repro.routing.gpsr import GPSRRouter
 
@@ -55,6 +56,11 @@ class Simulator:
     stats:
         Optional shared ledger (pass the :class:`Network` facade's ledger
         to unify accounting); a private one is created otherwise.
+    reliability:
+        Optional :class:`ReliabilityLayer`: per-hop loss draws, ARQ
+        retransmissions with exponential backoff (real simulated-time
+        delays here), and fault-plan node deaths, which put the
+        corresponding :class:`SimNode` to sleep mid-run.
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class Simulator:
         *,
         hop_latency: float = 0.01,
         stats: MessageStats | None = None,
+        reliability: ReliabilityLayer | None = None,
     ) -> None:
         if hop_latency <= 0:
             raise ConfigurationError(f"hop_latency must be positive: {hop_latency}")
@@ -77,6 +84,16 @@ class Simulator:
         self._queue: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self.reliability = reliability
+        if reliability is not None:
+            reliability.bind(topology)
+            if reliability.on_death is None:
+                reliability.on_death = self._kill_nodes
+
+    def _kill_nodes(self, nodes: tuple[int, ...]) -> None:
+        """Fault-plan deaths take effect in the simulated world too."""
+        for node_id in nodes:
+            self.nodes[node_id].sleep()
 
     # ------------------------------------------------------------------ #
     # Scheduling                                                         #
@@ -138,18 +155,25 @@ class Simulator:
         category: MessageCategory,
         payload: object = None,
         on_delivered: Callable[[Message], None] | None = None,
+        on_failed: Callable[[Message, list[int]], None] | None = None,
     ) -> Message:
         """Send a unicast message hop by hop along the GPSR path.
 
         Each hop is one scheduled radio transmission; the destination
         node's handler (and ``on_delivered``) fire at arrival time.
+        Liveness is re-checked when each hop *lands*, so a relay that
+        dies after the message was scheduled never forwards it.  A hop
+        that cannot deliver (dead relay/destination, or ARQ budget
+        exhausted under a reliability layer) calls ``on_failed`` with the
+        reached prefix — or raises :class:`DeliveryError` when no handler
+        was given.
         """
         message = Message(category=category, src=src, dst=dst, payload=payload)
         path = self.router.path(src, dst)
         if len(path) < 2:
-            self.schedule(0.0, lambda: self._arrive(message, on_delivered))
+            self.schedule(0.0, lambda: self._arrive(message, on_delivered, on_failed, path))
             return message
-        self._forward_along(message, path, 0, on_delivered)
+        self._forward_along(message, path, 0, on_delivered, on_failed)
         return message
 
     def _forward_along(
@@ -158,27 +182,96 @@ class Simulator:
         path: list[int],
         index: int,
         on_delivered: Callable[[Message], None] | None,
+        on_failed: Callable[[Message, list[int]], None] | None = None,
+        attempt: int = 0,
     ) -> None:
         if index == len(path) - 1:
-            self._arrive(message, on_delivered)
+            self._arrive(message, on_delivered, on_failed, path)
             return
         sender, receiver = path[index], path[index + 1]
         if not self.nodes[sender].alive:
-            raise DeliveryError(
-                f"node {sender} is asleep; message {message.msg_id} dropped",
+            self._fail(
+                message,
                 path[: index + 1],
+                on_failed,
+                f"node {sender} is asleep; message {message.msg_id} dropped",
             )
-        self.stats.record(message.category, sender=sender, receiver=receiver)
-        self.schedule(
-            self.hop_latency,
-            lambda: self._forward_along(message, path, index + 1, on_delivered),
-        )
+            return
+        rel = self.reliability
+        charge = message.category if attempt == 0 else MessageCategory.RETRANSMIT
+        self.stats.record(charge, sender=sender, receiver=receiver)
+        lost = False
+        if rel is not None:
+            tick = rel.begin_transmission()
+            rel.attempted += 1
+            if attempt > 0:
+                rel.retransmissions += 1
+            lost = rel.transmission_lost(tick, message.category, sender, receiver)
+
+        def at_arrival() -> None:
+            # Liveness decided when the hop lands, not when it was
+            # scheduled: a relay that died in flight cannot forward.
+            if lost or not self.nodes[receiver].alive:
+                if rel is not None and attempt < rel.arq.retry_limit:
+                    self.schedule(
+                        rel.arq.backoff(attempt + 1),
+                        lambda: self._forward_along(
+                            message, path, index, on_delivered, on_failed, attempt + 1
+                        ),
+                    )
+                else:
+                    if rel is not None:
+                        rel.failed_hops += 1
+                    self._fail(
+                        message,
+                        path[: index + 1],
+                        on_failed,
+                        f"hop {sender}->{receiver} undeliverable; "
+                        f"message {message.msg_id} dropped",
+                    )
+                return
+            if rel is not None:
+                rel.delivered += 1
+                if attempt > 0:
+                    self.stats.record(
+                        MessageCategory.ACK, sender=receiver, receiver=sender
+                    )
+                    rel.acks += 1
+            self._forward_along(message, path, index + 1, on_delivered, on_failed)
+
+        self.schedule(self.hop_latency, at_arrival)
+
+    def _fail(
+        self,
+        message: Message,
+        partial: list[int],
+        on_failed: Callable[[Message, list[int]], None] | None,
+        reason: str,
+    ) -> None:
+        if on_failed is not None:
+            on_failed(message, list(partial))
+            return
+        raise DeliveryError(reason, list(partial))
 
     def _arrive(
-        self, message: Message, on_delivered: Callable[[Message], None] | None
+        self,
+        message: Message,
+        on_delivered: Callable[[Message], None] | None,
+        on_failed: Callable[[Message, list[int]], None] | None = None,
+        path: list[int] | None = None,
     ) -> None:
         assert message.dst is not None
-        self.nodes[message.dst].deliver(message)
+        node = self.nodes[message.dst]
+        if not node.alive:
+            self._fail(
+                message,
+                path if path is not None else [message.dst],
+                on_failed,
+                f"destination {message.dst} died before message "
+                f"{message.msg_id} arrived",
+            )
+            return
+        node.deliver(message)
         if on_delivered is not None:
             on_delivered(message)
 

@@ -23,7 +23,7 @@ from repro.routing.gpsr import GPSRRouter
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.spans import SpanRecorder
 
-__all__ = ["MulticastTree", "TreeBuilder"]
+__all__ = ["MulticastTree", "TreeDelivery", "TreeBuilder"]
 
 
 @dataclass(slots=True)
@@ -102,6 +102,34 @@ class MulticastTree:
             current = parents[current]
             depth += 1
         return depth
+
+
+@dataclass(slots=True)
+class TreeDelivery:
+    """Outcome of pushing a query down a :class:`MulticastTree` under loss.
+
+    ``reached`` is the set of tree nodes the dissemination actually
+    arrived at (always includes the root); an edge whose ARQ budget was
+    exhausted prunes its whole subtree — those edges are never attempted,
+    mirroring a real forwarding tree where a dead branch cannot relay.
+    ``attempted_edges`` is the number of tree edges whose first attempt
+    was made (the lossless ``forward_cost`` when nothing fails).
+    """
+
+    tree: MulticastTree
+    reached: frozenset[int]
+    attempted_edges: int
+
+    @property
+    def complete(self) -> bool:
+        """Did every destination receive the query?"""
+        return all(node in self.reached for node in self.tree.destinations)
+
+    def reached_destinations(self) -> tuple[int, ...]:
+        return tuple(n for n in self.tree.destinations if n in self.reached)
+
+    def unreachable_destinations(self) -> tuple[int, ...]:
+        return tuple(n for n in self.tree.destinations if n not in self.reached)
 
 
 class TreeBuilder:

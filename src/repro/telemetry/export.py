@@ -77,6 +77,16 @@ def collect_system_record(
     registry = MetricsRegistry.from_stats(
         stats, energy_model=network.energy_model, storage=storage
     )
+    reliability = network.reliability
+    if reliability is not None:
+        # The delivery summary only appears when a reliability layer is
+        # active, so lossless exports stay byte-identical to the seed.
+        registry.counter("arq_retransmissions_total").inc(
+            reliability.retransmissions
+        )
+        registry.counter("arq_acks_total").inc(reliability.acks)
+        registry.counter("hops_failed_total").inc(reliability.failed_hops)
+        registry.gauge("delivery_ratio").set(reliability.delivery_ratio)
     record: dict[str, Any] = {
         "kind": "system",
         "experiment": experiment,
@@ -102,6 +112,8 @@ def collect_system_record(
         "spans": recorder.as_dicts() if recorder is not None else [],
         "span_summary": recorder.summary() if recorder is not None else [],
     }
+    if reliability is not None:
+        record["reliability"] = reliability.snapshot()
     return record
 
 

@@ -61,3 +61,56 @@ class TestMain:
     def test_routing_ablation_entry(self, capsys):
         assert main(["abl-routing"]) == 0
         assert "stretch" in capsys.readouterr().out
+
+
+class TestReliabilityFlags:
+    def test_defaults_leave_links_perfect(self):
+        args = build_parser().parse_args(["fig7a"])
+        assert args.loss_rate == 0.0
+        assert args.retry_limit == 3
+        assert args.fault_plan is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig7a", "--loss-rate", "0.2", "--retry-limit", "1",
+             "--fault-plan", "plan.json"]
+        )
+        assert args.loss_rate == 0.2
+        assert args.retry_limit == 1
+        assert args.fault_plan == "plan.json"
+
+    def test_lossy_run_reports_completeness(self, capsys):
+        code = main(["fig7a", "--scale", "0.1", "--trials", "1", "--quiet",
+                     "--loss-rate", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compl" in out
+        assert "dlvr/att" in out
+
+    def test_lossless_run_keeps_legacy_table(self, capsys):
+        code = main(["fig7a", "--scale", "0.1", "--trials", "1", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compl" not in out
+        assert "dlvr/att" not in out
+
+    def test_fault_plan_file_is_loaded(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(
+            {"drops": [{"category": "query_forward", "every": 7}]}
+        ))
+        code = main(["fig7a", "--scale", "0.1", "--trials", "1", "--quiet",
+                     "--retry-limit", "0", "--fault-plan", str(plan)])
+        assert code == 0
+        assert "compl" in capsys.readouterr().out
+
+    def test_unreadable_fault_plan_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["fig7a", "--fault-plan", str(missing)]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_fault_plan_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"drops": [{"category": "not-a-category"}]}))
+        assert main(["fig7a", "--fault-plan", str(bad)]) == 1
+        assert "cannot read" in capsys.readouterr().err

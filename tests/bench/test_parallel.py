@@ -115,3 +115,36 @@ class TestConstructionCounters:
         # Planarization is lazy (perimeter mode may never fire) but can
         # never be built more than once per cell.
         assert CONSTRUCTION_COUNTERS.planarizations <= cells
+
+
+class TestLossyDeterminism:
+    def test_lossy_rows_identical_across_jobs(self):
+        """Per-link loss streams depend only on per-link attempt order,
+        so a lossy sweep's rows (completeness included) are identical
+        whether cells run serially or in worker processes."""
+        from repro.network.reliability import DropRule, FaultPlan, NodeDeath
+
+        config = _small_config(
+            loss_rate=0.25,
+            retry_limit=2,
+            fault_plan=FaultPlan(
+                deaths=(NodeDeath(at=400, nodes=(3,)),),
+                drops=(DropRule(category="query_forward", at=(450,)),),
+            ),
+        )
+        serial = run_experiment(config, seed=11, jobs=1)
+        parallel = run_experiment(config, seed=11, jobs=4)
+        assert [r.as_dict(include_timings=False) for r in serial.rows] == [
+            r.as_dict(include_timings=False) for r in parallel.rows
+        ]
+        assert any(r.attempted_messages for r in serial.rows)
+        assert any(r.mean_completeness < 1.0 for r in serial.rows) or all(
+            r.delivered_messages <= r.attempted_messages for r in serial.rows
+        )
+
+    def test_lossy_telemetry_identical_across_jobs(self):
+        config = _small_config(loss_rate=0.25, network_sizes=(100,), trials=1)
+        serial = run_experiment(config, seed=11, jobs=1, telemetry=True)
+        parallel = run_experiment(config, seed=11, jobs=2, telemetry=True)
+        assert serial.telemetry == parallel.telemetry
+        assert all("reliability" in record for record in serial.telemetry)

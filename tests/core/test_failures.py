@@ -236,3 +236,49 @@ class TestFailureRecovery:
         report = pool.handle_failures(sorted(holders)[:10])
         assert pool.stored_events == before - report.events_lost
         assert len(pool.all_events()) == pool.stored_events
+
+
+class TestReplicaReseedInvariants:
+    """Regression: recovery must never leave dead, duplicate, or
+    holder-overlapping entries in any cell's replica set."""
+
+    def _assert_replica_invariants(self, pool):
+        topology = pool.network.topology
+        for key, replicas in pool._replica_nodes.items():
+            assert len(replicas) == len(set(replicas)), key
+            assert all(topology.is_alive(n) for n in replicas), key
+            store = pool._stores.get(key)
+            if store is None:
+                continue
+            holders = set(store.holders()) | {store.primary_node}
+            assert not set(replicas) & holders, key
+
+    def test_promoted_replica_leaves_the_replica_set(self, base_topo):
+        """Killing a cell's holders promotes its replica to holder; the
+        reseed must replace it rather than keep a holder==replica pair."""
+        pool, _ = _loaded(base_topo, replicas=1)
+        key, replicas = next(
+            (k, r) for k, r in pool._replica_nodes.items() if r
+        )
+        store = pool._stores[key]
+        victims = (set(store.holders()) | {store.primary_node}) - set(replicas)
+        report = pool.handle_failures(sorted(victims))
+        assert report.segments_reassigned > 0
+        self._assert_replica_invariants(pool)
+
+    def test_mass_failure_exceeding_candidates(self, base_topo):
+        """More requested replicas than nearby alive candidates: reseed
+        shrinks the set instead of inventing dead/duplicate replicas."""
+        pool, _ = _loaded(base_topo, replicas=2)
+        all_replicas = {n for r in pool._replica_nodes.values() for n in r}
+        holders = {
+            segment.node
+            for store in pool._stores.values()
+            for segment in store.segments
+        }
+        victims = sorted(all_replicas | set(sorted(holders)[:20]))[:40]
+        pool.handle_failures(victims)
+        self._assert_replica_invariants(pool)
+        # The system still answers queries after the repair.
+        result = pool.query(0, RangeQuery.partial(3, {}))
+        assert result.match_count == pool.stored_events

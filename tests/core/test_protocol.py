@@ -102,3 +102,42 @@ class TestValidation:
             run_query_on_simulator(
                 system, other, 0, RangeQuery.partial(3, {})
             )
+
+
+class TestMidQueryFaults:
+    def test_holder_dying_at_launch_degrades_gracefully(self):
+        """A holder killed while the query is in flight silences its
+        branch: the run completes with partial events and reports it."""
+        topology = deploy_uniform(350, seed=23)
+        network = Network(topology)
+        system = PoolSystem(network, 3, seed=23)
+        events = generate_events(1050, 3, seed=24, sources=list(topology))
+        for event in events:
+            system.insert(event)
+        simulator = Simulator(topology, hop_latency=0.01)
+        query = RangeQuery.partial(3, {})
+        sync = system.query(0, query)
+        assert sync.match_count > 0
+        victim = next(
+            segment.node
+            for store in system._stores.values()
+            for segment in store.segments
+            if segment.events and segment.node != 0
+        )
+        # Fires at t=0, before any message lands: the victim is dead by
+        # the time the dissemination reaches it.
+        simulator.schedule(0.0, lambda: simulator.nodes[victim].sleep())
+        run = run_query_on_simulator(system, simulator, 0, query)
+        assert not run.complete
+        assert victim in run.unreachable_nodes
+        sync_values = sorted(e.values for e in sync.events)
+        run_values = sorted(e.values for e in run.events)
+        assert len(run_values) < len(sync_values)
+        assert all(v in sync_values for v in run_values)
+
+    def test_run_with_no_faults_reports_complete(self, world):
+        system, simulator, _ = world
+        run = run_query_on_simulator(
+            system, simulator, 0, RangeQuery.partial(3, {0: (0.4, 0.6)})
+        )
+        assert run.complete and run.unreachable_nodes == ()

@@ -187,3 +187,103 @@ class TestSimNode:
         node.wake()
         node.deliver(Message(MessageCategory.APPLICATION, src=0, dst=1))
         assert len(got) == 1
+
+
+class TestMidPathLiveness:
+    def test_relay_dying_in_flight_drops_at_landing(self, sim):
+        """Liveness is decided when a hop lands: a relay that dies after
+        the message was scheduled must not forward it."""
+        router = GPSRRouter(sim.topology)
+        path = router.path(0, 59)
+        assert len(path) > 3, "need a long path for this test"
+        victim = path[2]
+        failures = []
+        sim.send(
+            0, 59, MessageCategory.INSERT,
+            on_failed=lambda m, partial: failures.append(partial),
+        )
+        # Kill the second relay while the first hop is still in the air.
+        sim.schedule(0.5 * sim.hop_latency, lambda: sim.nodes[victim].sleep())
+        sim.run()
+        assert failures == [path[:2]]
+
+    def test_destination_dying_in_flight_fails_delivery(self, sim):
+        router = GPSRRouter(sim.topology)
+        path = router.path(0, 59)
+        failures = []
+        sim.send(
+            0, 59, MessageCategory.INSERT,
+            on_failed=lambda m, partial: failures.append(partial),
+        )
+        sim.schedule(
+            (len(path) - 1.5) * sim.hop_latency,
+            lambda: sim.nodes[59].sleep(),
+        )
+        sim.run()
+        assert failures and failures[0] == path[:-1]
+
+
+class TestSimulatorArq:
+    def _reliable_sim(self, fault_plan, retry_limit=3):
+        from repro.network.radio import MessageStats
+        from repro.network.reliability import (
+            ArqPolicy, LossModel, ReliabilityLayer,
+        )
+
+        rel = ReliabilityLayer(
+            loss=LossModel(0.0),
+            arq=ArqPolicy(retry_limit=retry_limit),
+            fault_plan=fault_plan,
+        )
+        sim = Simulator(
+            deploy_uniform(60, seed=8),
+            hop_latency=0.01,
+            stats=MessageStats(),
+            reliability=rel,
+        )
+        return sim, rel
+
+    def test_dropped_hop_recovers_via_retransmission(self):
+        from repro.network.reliability import DropRule, FaultPlan
+
+        sim, rel = self._reliable_sim(FaultPlan(drops=(DropRule(at=(0,)),)))
+        arrivals = []
+        sim.send(0, 59, MessageCategory.INSERT, on_delivered=arrivals.append)
+        sim.run()
+        assert len(arrivals) == 1
+        assert sim.stats.count(MessageCategory.RETRANSMIT) == 1
+        assert sim.stats.count(MessageCategory.ACK) == 1
+        assert rel.retransmissions == 1 and rel.acks == 1
+        # The first attempt stays charged under the original category.
+        router = GPSRRouter(sim.topology)
+        hops = len(router.path(0, 59)) - 1
+        assert sim.stats.count(MessageCategory.INSERT) == hops
+
+    def test_exhausted_budget_calls_on_failed(self):
+        from repro.network.reliability import DropRule, FaultPlan
+
+        sim, rel = self._reliable_sim(
+            FaultPlan(drops=(DropRule(every=1),)), retry_limit=1
+        )
+        failures = []
+        sim.send(
+            0, 59, MessageCategory.INSERT,
+            on_failed=lambda m, partial: failures.append(partial),
+        )
+        sim.run()
+        assert failures == [[0]]
+        assert rel.failed_hops == 1
+        assert sim.stats.count(MessageCategory.RETRANSMIT) == 1
+
+    def test_fault_plan_death_puts_sim_node_to_sleep(self):
+        from repro.network.reliability import FaultPlan, NodeDeath
+
+        sim, rel = self._reliable_sim(FaultPlan(deaths=(NodeDeath(at=1, nodes=(30,)),)))
+        assert rel.on_death == sim._kill_nodes
+        failures = []
+        sim.send(
+            0, 59, MessageCategory.INSERT,
+            on_failed=lambda m, partial: failures.append(partial),
+        )
+        sim.run()
+        assert not sim.nodes[30].alive

@@ -113,3 +113,57 @@ class TestCrossProcessStability:
         # even when subprocess spawning is unavailable.
         draws = derive(123, "stream").integers(0, 2**31, 6)
         assert [int(x) for x in draws] == self.EXPECTED
+
+
+class TestLossStreamStability:
+    """The reliability layer's per-link drop sequences must be identical
+    across processes (``--jobs N`` workers re-derive them from scratch)."""
+
+    # Pinned: LossModel(0.5, seed=derive(123, "loss")) first 16 decisions
+    # per directed link.
+    EXPECTED_1_2 = [0, 1, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 1, 0, 1, 1]
+    EXPECTED_2_1 = [1, 0, 1, 1, 1, 0, 1, 1, 1, 0, 0, 1, 1, 0, 0, 0]
+
+    def test_pinned_drop_sequence_in_process(self):
+        from repro.network.reliability import LossModel
+
+        model = LossModel(0.5, seed=derive(123, "loss"))
+        assert [int(model.drops(1, 2)) for _ in range(16)] == self.EXPECTED_1_2
+        assert [int(model.drops(2, 1)) for _ in range(16)] == self.EXPECTED_2_1
+
+    def test_drop_sequence_is_stable_across_processes(self):
+        script = (
+            "from repro.network.reliability import LossModel\n"
+            "from repro.rng import derive\n"
+            "model = LossModel(0.5, seed=derive(123, 'loss'))\n"
+            "bits = [int(model.drops(1, 2)) for _ in range(16)]\n"
+            "bits += [int(model.drops(2, 1)) for _ in range(16)]\n"
+            "print(' '.join(str(b) for b in bits))\n"
+        )
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(src_dir)},
+        ).stdout
+        assert [int(b) for b in output.split()] == (
+            self.EXPECTED_1_2 + self.EXPECTED_2_1
+        )
+
+    def test_interleaving_does_not_change_link_streams(self):
+        """Per-link decisions depend only on that link's attempt count,
+        not on how traffic interleaves globally — the property that makes
+        lossy sweeps identical across --jobs values."""
+        from repro.network.reliability import LossModel
+
+        solo = LossModel(0.5, seed=derive(123, "loss"))
+        solo_bits = [solo.drops(1, 2) for _ in range(16)]
+        mixed = LossModel(0.5, seed=derive(123, "loss"))
+        mixed_bits = []
+        for i in range(16):
+            mixed.drops(9, 8)  # unrelated traffic interleaved
+            mixed_bits.append(mixed.drops(1, 2))
+            mixed.drops(8, 9)
+        assert mixed_bits == solo_bits

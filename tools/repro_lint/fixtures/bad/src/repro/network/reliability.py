@@ -1,0 +1,36 @@
+"""REP001 bad fixture: a lossy-link layer minting raw RNG state.
+
+Per-link drop streams must come from ``repro.rng.derive`` so every
+worker process replays the identical channel; each pattern below mints
+raw generator state instead and breaks that guarantee.
+"""
+
+from __future__ import annotations
+
+import random  # expect: REP001
+
+import numpy as np
+
+
+class LossModel:
+    """A Bernoulli link model seeded outside the derivation tree."""
+
+    def __init__(self, loss_rate: float) -> None:
+        self.loss_rate = loss_rate
+        self._stream = np.random.default_rng()  # expect: REP001
+
+    def drops(self, sender: int, receiver: int) -> bool:
+        if random.random() < self.loss_rate:  # expect: REP001
+            return True
+        return bool(self._stream.random() < self.loss_rate)
+
+
+def jittered_backoff(base: float, attempt: int) -> float:
+    rng = np.random.RandomState(attempt)  # expect: REP001
+    return base * (2.0**attempt) * (1.0 + rng.rand())  # type: ignore[no-any-return]
+
+
+def shuffled_victims(nodes: list[int]) -> list[int]:
+    order = list(nodes)
+    random.shuffle(order)  # expect: REP001
+    return order

@@ -1,0 +1,37 @@
+"""REP001 good fixture: per-link loss streams derived from the seed tree.
+
+The shape of the real reliability layer: one cached generator per
+directed link, derived with a stable key, so drop sequences depend only
+on the per-link attempt order — never on scheduling or process layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import SeedLike, derive
+
+
+class LossModel:
+    """A Bernoulli link model whose streams replay in any worker."""
+
+    def __init__(self, loss_rate: float, *, seed: SeedLike = 0) -> None:
+        self.loss_rate = loss_rate
+        self._seed = seed
+        self._streams: dict[tuple[int, int], np.random.Generator] = {}
+
+    def drops(self, sender: int, receiver: int) -> bool:
+        stream = self._streams.get((sender, receiver))
+        if stream is None:
+            stream = derive(self._seed, "link", sender, receiver)
+            self._streams[(sender, receiver)] = stream
+        return bool(stream.random() < self.loss_rate)
+
+
+def deterministic_backoff(base: float, attempt: int) -> float:
+    # Retransmission spacing needs no randomness at all.
+    return base * (2.0**attempt)
+
+
+def ordered_victims(nodes: frozenset[int]) -> list[int]:
+    return sorted(nodes)

@@ -18,15 +18,23 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from time import perf_counter
 from typing import Any
 
 from repro.bench.ablations import run_hotspot_ablation, run_routing_ablation
 from repro.bench.experiments import EXPERIMENTS, get_experiment
 from repro.bench.harness import run_experiment
-from repro.bench.reporting import render_result, render_telemetry, to_json
+from repro.bench.reporting import (
+    render_err_sidecar,
+    render_result,
+    render_telemetry,
+    result_from_export,
+    to_json,
+)
 from repro.exceptions import ValidationError
 from repro.network.reliability import FaultPlan
 from repro.telemetry.export import read_telemetry_jsonl, write_telemetry_jsonl
@@ -56,7 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default=None,
-        help="for 'report': path of the telemetry JSONL file to render",
+        help=(
+            "for 'report': telemetry JSONL or results JSON export to "
+            "render; a sibling .err stderr capture is surfaced too"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
     parser.add_argument(
@@ -89,6 +100,26 @@ def build_parser() -> argparse.ArgumentParser:
             "capture per-(size, trial, system) telemetry — spans, hotspot "
             "and energy views — and write it as JSONL (schema telemetry/1); "
             "byte-identical for any --jobs value at the same seed"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help=(
+            "spatially partition each cell's deployment across K tile "
+            "workers (shard-aware engine); rows, ledgers and telemetry "
+            "are byte-identical to --shards 1 for the same seed"
+        ),
+    )
+    parser.add_argument(
+        "--shard-workers",
+        choices=("process", "inline"),
+        default="process",
+        help=(
+            "how shard tiles execute: forked worker processes (default) "
+            "or in-process states (fastest on a single core)"
         ),
     )
     parser.add_argument(
@@ -127,6 +158,38 @@ def _progress(line: str) -> None:
     print(line, file=sys.stderr)
 
 
+def _render_report_target(target: str) -> str:
+    """Render ``pool-bench report TARGET`` to text.
+
+    ``TARGET`` is either a telemetry JSONL export (``--telemetry``) or a
+    results JSON export (``--json``), picked by extension.  Either way, a
+    sibling ``.err`` sidecar — the captured stderr of the run that
+    produced the export, e.g. ``results/fig6a.err`` next to
+    ``results/fig6a.json`` — is appended so crashed cells are visible in
+    the report instead of silently missing from the tables.
+    """
+    path = Path(target)
+    parts: list[str]
+    if path.suffix == ".json":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, list):
+            raise ValidationError(
+                "results export must be a JSON list of experiment objects"
+            )
+        parts = [render_result(result_from_export(entry)) for entry in payload]
+    else:
+        header, records = read_telemetry_jsonl(target)
+        parts = [render_telemetry(header, records)]
+    sidecar = path.with_suffix(".err")
+    if sidecar.is_file():
+        parts.append(
+            render_err_sidecar(
+                str(sidecar), sidecar.read_text(encoding="utf-8")
+            )
+        )
+    return "\n\n".join(parts)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -141,14 +204,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "report":
         if not args.target:
-            print("report requires a telemetry JSONL path", file=sys.stderr)
+            print(
+                "report requires a telemetry JSONL or results JSON path",
+                file=sys.stderr,
+            )
             return 2
         try:
-            header, records = read_telemetry_jsonl(args.target)
-        except (OSError, ValidationError, ValueError) as error:
+            rendered = _render_report_target(args.target)
+        except (OSError, ValidationError, ValueError, KeyError) as error:
             print(f"cannot read {args.target}: {error}", file=sys.stderr)
             return 1
-        print(render_telemetry(header, records))
+        print(rendered)
         return 0
 
     if args.experiment == "abl-hotspot":
@@ -186,6 +252,10 @@ def main(argv: list[str] | None = None) -> int:
                 retry_limit=args.retry_limit,
                 fault_plan=fault_plan,
             )
+        if args.shards != 1:
+            config = replace(
+                config, shards=args.shards, shard_workers=args.shard_workers
+            )
         started = perf_counter()
         result = run_experiment(
             config,
@@ -205,7 +275,13 @@ def main(argv: list[str] | None = None) -> int:
             handle.write(to_json(results))
         print(f"JSON written to {args.json}", file=sys.stderr)
     if args.telemetry:
-        write_telemetry_jsonl(args.telemetry, telemetry_records, seed=args.seed)
+        header_fields: dict[str, Any] = {"seed": args.seed}
+        if args.shards != 1:
+            # Tagged so readers can tell a sharded export apart; the
+            # shard merge (python -m repro.shard.merge) strips it before
+            # byte-comparison against a --shards 1 export.
+            header_fields["shards"] = args.shards
+        write_telemetry_jsonl(args.telemetry, telemetry_records, **header_fields)
         print(f"telemetry written to {args.telemetry}", file=sys.stderr)
     return 0
 

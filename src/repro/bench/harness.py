@@ -318,7 +318,43 @@ def _run_cell(
         target_degree=config.target_degree,
         seed=derive(seed, "topology", size, trial),
     )
+    if config.shards > 1:
+        # Same topology object, sharded router: the deployment draw above
+        # is untouched, so every downstream artifact (sink, events,
+        # queries, paths) is byte-identical to the shards=1 run.
+        deployment = deployment.shard(
+            config.shards, workers=config.shard_workers
+        )
     build_seconds = perf_counter() - build_started
+    try:
+        return _run_cell_systems(
+            config,
+            seed,
+            size,
+            trial,
+            progress,
+            telemetry=telemetry,
+            deployment=deployment,
+            build_seconds=build_seconds,
+        )
+    finally:
+        closer = getattr(deployment, "close", None)
+        if closer is not None:
+            closer()
+
+
+def _run_cell_systems(
+    config: ExperimentConfig,
+    seed: int,
+    size: int,
+    trial: int,
+    progress: ProgressFn | None = None,
+    *,
+    telemetry: bool,
+    deployment: Deployment,
+    build_seconds: float,
+) -> _CellResult:
+    """The body of :func:`_run_cell` once the deployment exists."""
     root = Network(deployment=deployment)
     sink = _sink_node(deployment.topology)
     events = config.event_workload.generate(

@@ -1,0 +1,360 @@
+"""Pinned micro-benchmark grid and the ``results/BENCH_scale.json`` trend.
+
+The ROADMAP's "raw speed" item needs a tripwire, not a dashboard: a small
+grid of *pinned* cells (fixed seeds, fixed sizes, fixed pair lists) timed
+on every CI run, appended to ``results/BENCH_scale.json``, and compared
+against the committed baseline.  A cell that slows down by more than 20%
+— after normalizing both sides by a pure-Python calibration loop so a
+slower CI machine does not raise false alarms — fails the job.
+
+Usage::
+
+    python -m repro.bench.perf                  # run grid, append history
+    python -m repro.bench.perf --check          # + fail on >20% regression
+    python -m repro.bench.perf --update-baseline
+    python -m repro.bench.perf --scale-demo     # 10^4-node sharded cell
+
+The scale demo is the acceptance run for the shard-aware engine: one
+10⁴-node grid cell — more than 10× the paper's 900-node maximum — timed
+single-process (recorded as ``budget_seconds``) and with ``--shards 4``,
+which must finish under that budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Iterable
+
+from repro.bench.harness import _run_cell
+from repro.bench.workloads import ExperimentConfig
+from repro.events.generators import QueryWorkload
+from repro.network.deployment import Deployment
+from repro.rng import derive, ensure_generator
+
+__all__ = [
+    "PERF_SCHEMA",
+    "REGRESSION_THRESHOLD",
+    "calibrate",
+    "run_grid",
+    "run_scale_demo",
+    "check_against_baseline",
+    "main",
+]
+
+PERF_SCHEMA = "bench-scale/1"
+
+#: A cell is a regression when BOTH its calibration-normalized time and
+#: its raw seconds exceed the baseline's by more than this factor.  The
+#: conjunction is what makes the tripwire hold on shared machines: the
+#: normalized ratio cancels a uniformly slower runner (seconds up,
+#: normalized flat), while the raw ratio cancels calibration jitter
+#: (normalized up, seconds flat).  A genuine code regression on a
+#: comparable runner moves both.
+REGRESSION_THRESHOLD = 1.20
+
+_DEFAULT_PATH = Path("results") / "BENCH_scale.json"
+
+
+def calibrate(rounds: int = 5) -> float:
+    """Seconds for a fixed pure-Python workload (machine-speed yardstick).
+
+    Both the baseline and the current run divide their cell times by
+    their own calibration, so the regression check compares *work per
+    machine-second*, tolerating CI runners of different speeds.  Best of
+    ``rounds`` to shave scheduler noise.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        started = perf_counter()
+        acc = 0
+        for i in range(1_000_000):
+            acc = (acc * 31 + i) % 1_000_003
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def _pinned_pairs(size: int, count: int) -> list[tuple[int, int]]:
+    """Deterministic (src, dst) routing pairs for a ``size``-node grid."""
+    rng = ensure_generator(derive(0, "perf", "pairs", size))
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < count:
+        src, dst = (int(v) for v in rng.integers(0, size, size=2))
+        if src != dst:
+            pairs.append((src, dst))
+    return pairs
+
+
+def _deploy(size: int) -> Deployment:
+    return Deployment.deploy(
+        size,
+        radio_range=40.0,
+        target_degree=20.0,
+        seed=derive(0, "topology", size, 0),
+    )
+
+
+def _bench_deploy_2000() -> None:
+    for _ in range(4):
+        _deploy(2000)
+
+
+def _bench_route_900() -> None:
+    deployment = _deploy(900)
+    for src, dst in _pinned_pairs(900, 600):
+        deployment.router.route(src, dst)
+
+
+def _bench_route_2000_shards4() -> None:
+    deployment = _deploy(2000).shard(4, workers="inline")
+    try:
+        for src, dst in _pinned_pairs(2000, 200):
+            deployment.router.route(src, dst)
+    finally:
+        deployment.close()  # type: ignore[attr-defined]
+
+
+def _scale_config(size: int, shards: int) -> ExperimentConfig:
+    """The scale-demo cell: one size, one trial, the Pool system only."""
+    return ExperimentConfig(
+        name=f"perf-scale-{size}",
+        title="perf scale demo",
+        network_sizes=(size,),
+        events_per_node=1,
+        query_count=20,
+        trials=1,
+        systems=("pool",),
+        query_workloads=(
+            QueryWorkload(
+                dimensions=3,
+                kind="exact",
+                range_sizes="uniform",
+                label="exact/uniform",
+            ),
+        ),
+        shards=shards,
+        shard_workers="inline",
+    )
+
+
+def _bench_cell_900() -> None:
+    _run_cell(_scale_config(900, 1), 0, 900, 0)
+
+
+#: The pinned grid: name -> zero-argument workload.  Keep every cell in
+#: the low seconds so the CI job stays cheap; scale coverage lives in the
+#: (manual) ``--scale-demo`` run.
+PERF_CELLS: dict[str, Callable[[], None]] = {
+    "deploy-2000": _bench_deploy_2000,
+    "route-900": _bench_route_900,
+    "route-2000-shards4": _bench_route_2000_shards4,
+    "cell-900": _bench_cell_900,
+}
+
+
+def run_grid(
+    calibration: float,
+    repeats: int = 2,
+    names: Iterable[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Time pinned cells (best of ``repeats``): name -> seconds/normalized.
+
+    Best-of rather than mean: scheduler noise only ever *adds* time, so
+    the minimum is the stable estimate of the work itself — the quantity
+    the regression tripwire should trend.  ``names`` restricts the run to
+    a subset (the retry pass in ``--check``).
+    """
+    cells: dict[str, dict[str, float]] = {}
+    for name, workload in PERF_CELLS.items():
+        if names is not None and name not in names:
+            continue
+        seconds = float("inf")
+        for _ in range(repeats):
+            started = perf_counter()
+            workload()
+            seconds = min(seconds, perf_counter() - started)
+        cells[name] = {
+            "seconds": round(seconds, 4),
+            "normalized": round(seconds / calibration, 2),
+        }
+    return cells
+
+
+def run_scale_demo(size: int = 10_000, shards: int = 4) -> dict[str, Any]:
+    """Time the 10⁴-node grid cell single-process and sharded.
+
+    The single-process time is the recorded wall-clock budget; the
+    sharded run must beat it (the per-step greedy memoization in the
+    shard workers is what makes one core faster, and worker processes
+    scale it out on multi-core hosts).
+    """
+    started = perf_counter()
+    _run_cell(_scale_config(size, 1), 0, size, 0)
+    budget_seconds = perf_counter() - started
+    started = perf_counter()
+    _run_cell(_scale_config(size, shards), 0, size, 0)
+    sharded_seconds = perf_counter() - started
+    return {
+        "size": size,
+        "shards": shards,
+        "shard_workers": "inline",
+        "budget_seconds": round(budget_seconds, 2),
+        "seconds": round(sharded_seconds, 2),
+        "under_budget": sharded_seconds < budget_seconds,
+    }
+
+
+def _load(path: Path) -> dict[str, Any]:
+    if not path.is_file():
+        return {"schema": PERF_SCHEMA, "baseline": None, "scale_demo": None, "history": []}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != PERF_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {PERF_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    return payload
+
+
+def _save(path: Path, payload: dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", "utf-8")
+
+
+def check_against_baseline(
+    baseline: dict[str, Any], entry: dict[str, Any]
+) -> dict[str, str]:
+    """Regression messages by cell name (empty = pass).
+
+    A cell regresses only when its normalized time AND its raw seconds
+    both exceed baseline × threshold (see :data:`REGRESSION_THRESHOLD`
+    for why the conjunction).
+    """
+    problems: dict[str, str] = {}
+    baseline_cells: dict[str, dict[str, float]] = baseline.get("cells", {})
+    for name, measured in sorted(entry["cells"].items()):
+        reference = baseline_cells.get(name)
+        if reference is None:
+            continue  # new cell: no baseline yet, nothing to regress from
+        allowed = reference["normalized"] * REGRESSION_THRESHOLD
+        allowed_seconds = reference["seconds"] * REGRESSION_THRESHOLD
+        if (
+            measured["normalized"] > allowed
+            and measured["seconds"] > allowed_seconds
+        ):
+            problems[name] = (
+                f"{name}: normalized {measured['normalized']:.2f} > "
+                f"{allowed:.2f} and {measured['seconds']:.3f}s > "
+                f"{allowed_seconds:.3f}s (baseline "
+                f"{reference['normalized']:.2f} / {reference['seconds']:.3f}s "
+                f"+{(REGRESSION_THRESHOLD - 1) * 100:.0f}%)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="pinned micro-benchmark grid with a regression tripwire",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=str(_DEFAULT_PATH),
+        help=f"trend file (default {_DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on a >20%% normalized regression vs the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record this run as the committed baseline",
+    )
+    parser.add_argument(
+        "--scale-demo",
+        action="store_true",
+        help="also run the 10^4-node sharded scale demo (slow)",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="history entry label (default: $GITHUB_SHA or 'local')",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.json)
+    payload = _load(path)
+
+    label = args.label or os.environ.get("GITHUB_SHA", "local")[:12]
+    calibration = calibrate()
+    cells = run_grid(calibration)
+    entry: dict[str, Any] = {
+        "label": label,
+        "calibration_seconds": round(calibration, 5),
+        "cells": cells,
+    }
+    payload.setdefault("history", []).append(entry)
+    for name, cell in sorted(cells.items()):
+        print(
+            f"{name:20s} {cell['seconds']:8.3f}s  "
+            f"normalized {cell['normalized']:8.2f}"
+        )
+
+    if args.scale_demo:
+        demo = run_scale_demo()
+        payload["scale_demo"] = demo
+        print(
+            f"scale demo: {demo['size']} nodes, shards={demo['shards']} "
+            f"({demo['shard_workers']}): {demo['seconds']:.2f}s vs "
+            f"single-process budget {demo['budget_seconds']:.2f}s "
+            f"({'UNDER' if demo['under_budget'] else 'OVER'} budget)"
+        )
+
+    exit_code = 0
+    if args.update_baseline or payload.get("baseline") is None:
+        payload["baseline"] = {
+            "label": label,
+            "calibration_seconds": entry["calibration_seconds"],
+            "cells": cells,
+        }
+        print("baseline updated")
+    elif args.check:
+        problems = check_against_baseline(payload["baseline"], entry)
+        if problems:
+            # A shared CI box inflates individual timings well beyond 20%;
+            # a genuine regression survives a calmer second look, noise
+            # does not.  Retry only the suspect cells, keep the best time.
+            print(
+                "suspected regressions, retrying: "
+                + ", ".join(sorted(problems)),
+                file=sys.stderr,
+            )
+            retried = run_grid(calibrate(), repeats=3, names=sorted(problems))
+            for name, cell in retried.items():
+                previous = entry["cells"][name]
+                entry["cells"][name] = {
+                    "seconds": min(cell["seconds"], previous["seconds"]),
+                    "normalized": min(
+                        cell["normalized"], previous["normalized"]
+                    ),
+                }
+            problems = check_against_baseline(payload["baseline"], entry)
+        for problem in problems.values():
+            print(f"REGRESSION {problem}", file=sys.stderr)
+        if problems:
+            exit_code = 1
+        else:
+            print("perf check: all cells within threshold")
+
+    _save(path, payload)
+    print(f"trend appended to {path}", file=sys.stderr)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

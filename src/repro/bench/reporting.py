@@ -10,13 +10,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, ResultRow
 
 __all__ = [
     "Table",
     "result_table",
     "ratio_table",
     "render_result",
+    "result_from_export",
+    "render_err_sidecar",
     "telemetry_hotspot_table",
     "telemetry_energy_table",
     "telemetry_span_table",
@@ -148,6 +150,89 @@ def render_result(result: ExperimentResult) -> str:
     if ratios is not None:
         parts.append(ratios.render())
     return "\n\n".join(parts)
+
+
+def result_from_export(payload: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its JSON export.
+
+    Inverse of :meth:`ExperimentResult.as_dict` for the fields the text
+    tables consume, so ``pool-bench report results/fig6a.json`` can
+    re-render a committed export without re-running the experiment.
+    """
+    result = ExperimentResult(
+        name=str(payload.get("name", "")),
+        title=str(payload.get("title", "")),
+        paper_claim=str(payload.get("paper_claim", "")),
+    )
+    rows = payload.get("rows", [])
+    if not isinstance(rows, list):
+        raise ValueError("result export 'rows' must be a list")
+    for row in rows:
+        timings = row.get("timings", {})
+        result.rows.append(
+            ResultRow(
+                size=int(row["size"]),
+                workload=str(row["workload"]),
+                system=str(row["system"]),
+                trials=int(row.get("trials", 0)),
+                queries=int(row.get("queries", 0)),
+                mean_cost=float(row.get("mean_cost", 0.0)),
+                std_cost=float(row.get("std_cost", 0.0)),
+                mean_forward=float(row.get("mean_forward", 0.0)),
+                mean_reply=float(row.get("mean_reply", 0.0)),
+                mean_matches=float(row.get("mean_matches", 0.0)),
+                mean_insert_hops=float(row.get("mean_insert_hops", 0.0)),
+                mean_visited_nodes=float(row.get("mean_visited_nodes", 0.0)),
+                mean_depth_hops=float(row.get("mean_depth_hops", 0.0)),
+                mean_completeness=float(row.get("mean_completeness", 1.0)),
+                attempted_messages=int(row.get("attempted_messages", 0)),
+                delivered_messages=int(row.get("delivered_messages", 0)),
+                build_seconds=float(timings.get("build_seconds", 0.0)),
+                insert_seconds=float(timings.get("insert_seconds", 0.0)),
+                query_seconds=float(timings.get("query_seconds", 0.0)),
+            )
+        )
+    return result
+
+
+#: Case-insensitive substrings that flag a captured-stderr line as a
+#: failure signal rather than routine progress chatter.
+_ERR_SIGNS = ("traceback", "error", "exception", "failed", "fatal")
+
+
+def render_err_sidecar(path: str, text: str) -> str:
+    """Render a captured-stderr sidecar (``results/<name>.err``).
+
+    Runs that redirect stderr to a ``.err`` file next to their JSON
+    export used to bury crashes: a cell that died mid-grid left an empty
+    or truncated row with the traceback invisible unless someone opened
+    the sidecar by hand.  ``pool-bench report`` calls this to surface the
+    capture — failure-looking lines (tracebacks, exceptions) are marked
+    with ``!`` and counted in the heading; a clean capture collapses to
+    a one-line all-clear.
+    """
+    lines = text.splitlines()
+    flagged = [
+        line
+        for line in lines
+        if any(sign in line.lower() for sign in _ERR_SIGNS)
+    ]
+    noun = "line" if len(lines) == 1 else "lines"
+    if not flagged:
+        heading = (
+            f"captured stderr: {path} ({len(lines)} {noun}, no failure signs)"
+        )
+        return heading
+    heading = (
+        f"captured stderr: {path} ({len(lines)} {noun}, "
+        f"{len(flagged)} flagged) — some cells FAILED; rows may be missing"
+    )
+    body = [
+        ("! " if any(sign in line.lower() for sign in _ERR_SIGNS) else "  ")
+        + line
+        for line in lines
+    ]
+    return "\n".join([heading, *body])
 
 
 def telemetry_hotspot_table(records: Sequence[Mapping[str, Any]]) -> Table:

@@ -66,6 +66,12 @@ class ExperimentConfig:
     loss_rate: float = 0.0
     retry_limit: int = 3
     fault_plan: FaultPlan | None = None
+    # Shard-aware engine: spatially partition each cell's deployment into
+    # this many tiles (1 = the monolithic router).  Results are
+    # byte-identical for any value; ``shard_workers`` picks whether tiles
+    # run as forked worker processes or in-process states.
+    shards: int = 1
+    shard_workers: str = "process"
 
     def __post_init__(self) -> None:
         if not self.network_sizes:
@@ -87,6 +93,15 @@ class ExperimentConfig:
         if self.retry_limit < 0:
             raise ConfigurationError(
                 f"{self.name}: retry_limit must be >= 0, got {self.retry_limit}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"{self.name}: shards must be >= 1, got {self.shards}"
+            )
+        if self.shard_workers not in ("inline", "process"):
+            raise ConfigurationError(
+                f"{self.name}: shard_workers must be 'inline' or 'process', "
+                f"got {self.shard_workers!r}"
             )
 
     def scaled(self, factor: float) -> "ExperimentConfig":

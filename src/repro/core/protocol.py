@@ -25,7 +25,7 @@ need global knowledge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import Mapping, Sequence, TYPE_CHECKING
 
 from repro.core.resolve import query_ranges_for_pool, relevant_offsets
 from repro.core.system import PoolSystem
@@ -39,7 +39,32 @@ from repro.routing.multicast import MulticastTree, TreeBuilder
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.spans import SpanRecorder
 
-__all__ = ["DistributedQueryRun", "run_query_on_simulator"]
+__all__ = ["DistributedQueryRun", "fold_reply_tree", "run_query_on_simulator"]
+
+
+def fold_reply_tree(
+    tree: MulticastTree, leaf_events: Mapping[int, Sequence[Event]]
+) -> list[Event]:
+    """The canonical reply-tree aggregation: one deterministic fold.
+
+    Every node's partial reply is its own stored events followed by its
+    children's partials in sorted-child order — the in-network
+    aggregation rule of Section 3.2.3, fixed to a single canonical order
+    so it can serve as the reference both for the event-driven execution
+    below and for the sharded engine's cross-shard folding
+    (:func:`repro.shard.merge.fold_shard_replies` produces exactly this
+    list for any shard ownership, which is what makes sharded reply
+    aggregation provably equivalent rather than approximately so).
+    """
+    children = tree.children()
+    partial: dict[int, list[Event]] = {}
+    order = sorted(tree.nodes(), key=lambda n: (-tree.depth_of(n), n))
+    for node in order:
+        events = list(leaf_events.get(node, ()))
+        for child in children.get(node, ()):
+            events.extend(partial.pop(child))
+        partial[node] = events
+    return partial[tree.root]
 
 
 @dataclass(slots=True)

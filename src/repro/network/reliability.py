@@ -63,6 +63,14 @@ __all__ = [
 class LossModel:
     """Deterministic per-link Bernoulli packet loss.
 
+    Each *directed link* draws from its own stream, derived as
+    ``derive(seed, "link", sender, receiver)`` and consumed one draw per
+    attempt on that link.  The stream identity therefore depends only on
+    the link's endpoints and its own attempt count — never on global draw
+    order, on which process performs the send, or (in a sharded run) on
+    which tile owns the sender — which is what keeps lossy runs
+    byte-identical across ``--jobs N`` *and* ``--shards K``.
+
     Parameters
     ----------
     loss_rate:

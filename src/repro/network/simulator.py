@@ -70,13 +70,21 @@ class Simulator:
         hop_latency: float = 0.01,
         stats: MessageStats | None = None,
         reliability: ReliabilityLayer | None = None,
+        router: GPSRRouter | None = None,
     ) -> None:
         if hop_latency <= 0:
             raise ConfigurationError(f"hop_latency must be positive: {hop_latency}")
         self.topology = topology
         self.hop_latency = hop_latency
         self.stats = stats if stats is not None else MessageStats()
-        self.router = GPSRRouter(topology)
+        # The router indirection: callers may inject a shared router (the
+        # deployment's warmed cache, or a ShardRouter executing on shard
+        # workers) instead of this private per-simulator one.
+        if router is not None and router.topology is not topology:
+            raise ConfigurationError(
+                "injected router must route over the simulator's topology"
+            )
+        self.router = router if router is not None else GPSRRouter(topology)
         self.now = 0.0
         self.nodes = [
             SimNode(node_id, topology.position(node_id)) for node_id in topology

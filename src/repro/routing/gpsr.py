@@ -40,10 +40,17 @@ from repro.routing.planarization import (
     update_after_failures,
 )
 
-__all__ = ["GPSRRouter", "RouteResult"]
+__all__ = ["GPSRRouter", "PacketState", "RouteResult", "StepOutcome"]
 
 _GREEDY: Literal["greedy"] = "greedy"
 _PERIMETER: Literal["perimeter"] = "perimeter"
+
+#: Outcome of one :meth:`GPSRRouter.forward_one` step.  ``"hop"`` forwards
+#: the packet to the returned neighbor, ``"stay"`` re-enters greedy mode
+#: without transmitting (it still consumes one TTL slot, mirroring the
+#: ``continue`` in the classic loop), ``"drop"`` means the destination is
+#: unreachable from the current node.
+StepOutcome = Literal["hop", "stay", "drop"]
 
 
 @dataclass(slots=True)
@@ -78,14 +85,22 @@ class RouteResult:
 
 
 @dataclass(slots=True)
-class _PacketState:
-    """The GPSR packet-header fields that drive forwarding decisions."""
+class PacketState:
+    """The GPSR packet-header fields that drive forwarding decisions.
+
+    This *is* the wire header of a GPSR packet (mode, destination, ``Lp``,
+    ``Lf``, traversed-edge memory, perimeter hop count), so it is plain
+    picklable data: a shard worker that receives a mid-flight packet from
+    a neighboring tile resumes forwarding from exactly this state, which
+    is what makes sharded routing bit-equal to the monolithic loop.
+    """
 
     dest: Point
     mode: str = _GREEDY
     entry: Point | None = None  # Lp: location where perimeter mode started
     face_point: Point | None = None  # Lf: where the packet entered this face
     traversed: set[tuple[int, int]] = field(default_factory=set)
+    perimeter_hops: int = 0
 
 
 class GPSRRouter:
@@ -205,50 +220,83 @@ class GPSRRouter:
         target = self.topology.closest_node(point)
         return self.path(src, target)
 
+    def start_packet(self, dst: int) -> PacketState:
+        """A fresh packet header addressed to node ``dst``."""
+        return PacketState(dest=self.topology.position(dst))
+
+    def forward_one(
+        self, current: int, previous: int | None, state: PacketState
+    ) -> tuple[StepOutcome, int | None]:
+        """One forwarding decision of the GPSR loop, resumable anywhere.
+
+        Uses only ``current``'s neighbor table and the packet header, so
+        the decision is identical no matter which process executes it —
+        the shard engine calls this on whichever worker owns ``current``
+        while :meth:`route` calls it in a tight loop; both consume one TTL
+        slot per call (including ``"stay"``) and mutate ``state`` the same
+        way, which is what makes sharded paths equal monolithic ones.
+        """
+        if state.mode == _GREEDY:
+            nxt = self._greedy_next(current, state.dest)
+            if nxt is None:
+                self._enter_perimeter(state, current)
+                nxt = self._perimeter_first_edge(current, state)
+                if nxt is None:
+                    return "drop", None
+        else:
+            here = Point(*self.topology.positions[current])
+            assert state.entry is not None
+            if distance_sq(here, state.dest) < distance_sq(
+                state.entry, state.dest
+            ):
+                # Progress past the dead-end point: back to greedy.
+                state.mode = _GREEDY
+                state.traversed.clear()
+                return "stay", None
+            assert previous is not None
+            nxt = self._perimeter_next(current, previous, state)
+            if nxt is None:
+                return "drop", None
+        if state.mode == _PERIMETER:
+            edge = (current, nxt)
+            if edge in state.traversed:
+                # Completed a full face walk without progress: the
+                # destination is unreachable from here.
+                return "drop", None
+            state.traversed.add(edge)
+            state.perimeter_hops += 1
+        return "hop", nxt
+
+    def prefetch(self, root: int, destinations: Iterable[int]) -> None:
+        """Hint that the ``root -> destination`` paths are about to be used.
+
+        The monolithic router computes paths lazily and memoizes them, so
+        there is nothing to warm here; the shard router overrides this to
+        route the whole batch through its bulk-synchronous exchange rounds
+        instead of one packet at a time.
+        """
+
     def route(self, src: int, dst: int) -> RouteResult:
         """Run the GPSR forwarding loop from ``src`` to node ``dst``."""
         self._validate_node(src)
         self._validate_node(dst)
         if src == dst:
             return RouteResult([src], delivered=True)
-        positions = self.topology.positions
-        state = _PacketState(dest=self.topology.position(dst))
+        state = self.start_packet(dst)
         path = [src]
         current = src
         previous: int | None = None
-        perimeter_hops = 0
         for _ in range(self.ttl):
             if current == dst:
-                return RouteResult(path, delivered=True, perimeter_hops=perimeter_hops)
-            if state.mode == _GREEDY:
-                nxt = self._greedy_next(current, state.dest)
-                if nxt is None:
-                    self._enter_perimeter(state, current)
-                    nxt = self._perimeter_first_edge(current, state)
-                    if nxt is None:
-                        return RouteResult(path, delivered=False)
-            else:
-                here = Point(*positions[current])
-                assert state.entry is not None
-                if distance_sq(here, state.dest) < distance_sq(
-                    state.entry, state.dest
-                ):
-                    # Progress past the dead-end point: back to greedy.
-                    state.mode = _GREEDY
-                    state.traversed.clear()
-                    continue
-                assert previous is not None
-                nxt = self._perimeter_next(current, previous, state)
-                if nxt is None:
-                    return RouteResult(path, delivered=False)
-            if state.mode == _PERIMETER:
-                edge = (current, nxt)
-                if edge in state.traversed:
-                    # Completed a full face walk without progress: the
-                    # destination is unreachable from here.
-                    return RouteResult(path, delivered=False)
-                state.traversed.add(edge)
-                perimeter_hops += 1
+                return RouteResult(
+                    path, delivered=True, perimeter_hops=state.perimeter_hops
+                )
+            outcome, nxt = self.forward_one(current, previous, state)
+            if outcome == "stay":
+                continue
+            if outcome == "drop":
+                return RouteResult(path, delivered=False)
+            assert nxt is not None
             previous, current = current, nxt
             path.append(current)
         raise DeliveryError(
@@ -281,20 +329,20 @@ class GPSRRouter:
                 best_d = d
         return best
 
-    def _enter_perimeter(self, state: _PacketState, current: int) -> None:
+    def _enter_perimeter(self, state: PacketState, current: int) -> None:
         here = self.topology.position(current)
         state.mode = _PERIMETER
         state.entry = here
         state.face_point = here
         state.traversed.clear()
 
-    def _perimeter_first_edge(self, current: int, state: _PacketState) -> int | None:
+    def _perimeter_first_edge(self, current: int, state: PacketState) -> int | None:
         """First edge counterclockwise about ``current`` from line to dest."""
         reference = angle_of(self.topology.position(current), state.dest)
         return self._rhr_neighbor(current, reference)
 
     def _perimeter_next(
-        self, current: int, previous: int, state: _PacketState
+        self, current: int, previous: int, state: PacketState
     ) -> int | None:
         """Right-hand-rule successor with GPSR's face-change test."""
         positions = self.topology.positions

@@ -183,7 +183,15 @@ class TreeBuilder:
         self._destinations.append(node)
 
     def add_destinations(self, nodes: list[int]) -> None:
-        """Graft several destinations (deterministic order)."""
+        """Graft several destinations (deterministic order).
+
+        The batch is prefetched first — a no-op on the monolithic router,
+        but the shard router's override routes all missing paths through
+        shared bulk-synchronous exchange rounds, so a tree over K tiles
+        costs rounds proportional to its depth, not to its fan-out.  The
+        grafting below then consumes identical cached paths either way.
+        """
+        self.router.prefetch(self.root, nodes)
         for node in nodes:
             self.add_destination(node)
 
@@ -201,12 +209,22 @@ class TreeBuilder:
             edges=frozenset(self._edges),
         )
         if self.recorder is not None:
+            attrs: dict[str, int] = {
+                "root": self.root,
+                "destinations": len(tree.destinations),
+            }
+            plan = getattr(self.router, "plan", None)
+            if plan is not None:
+                # Sharded runs tag the span with the tile that owns the
+                # tree root; the telemetry merge strips the tag, restoring
+                # the byte-identical unsharded record.
+                root_x, root_y = self.router.topology.position(self.root)
+                attrs["shard_id"] = plan.owner_of_position(root_x, root_y)
             self.recorder.record(
                 "cell-fanout",
                 phase="forward",
                 messages=tree.forward_cost,
                 nodes=tree.nodes(),
-                root=self.root,
-                destinations=len(tree.destinations),
+                **attrs,
             )
         return tree

@@ -1,0 +1,160 @@
+"""Deterministic cross-shard result folding and telemetry normalization.
+
+Everything a sharded run merges — per-shard reply partials, per-shard
+counter maps, shard-tagged telemetry — is folded here in *sorted key
+order*, never in dict insertion order: insertion order in a sharded run
+reflects which worker finished first, which is exactly the
+nondeterminism the ``shards-1-vs-K`` byte-equality guarantee forbids
+(``tools/repro_lint`` rule REP006 enforces this on this module).
+
+Run as a module to normalize a telemetry export for comparison::
+
+    python -m repro.shard.merge sharded.jsonl merged.jsonl
+
+The output of a ``--shards K`` export, after merging, is byte-identical
+to a ``--shards 1`` export of the same seed (CI asserts this with
+``cmp``).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.protocol import fold_reply_tree
+from repro.events.event import Event
+from repro.routing.multicast import MulticastTree
+
+__all__ = [
+    "FoldedReplies",
+    "fold_shard_replies",
+    "merge_counter_maps",
+    "merge_shard_records",
+    "main",
+]
+
+
+@dataclass(slots=True)
+class FoldedReplies:
+    """A sharded reply fold: the events plus its boundary-crossing count."""
+
+    events: list[Event]
+    cross_shard_merges: int
+
+
+def fold_shard_replies(
+    tree: MulticastTree,
+    leaf_events: Mapping[int, Sequence[Event]],
+    owner: Mapping[int, int],
+) -> FoldedReplies:
+    """Fold per-holder replies up ``tree`` across shard-local fragments.
+
+    Nodes are processed deepest-first; each node's partial aggregate is
+    its own events followed by its children's partials in sorted-child
+    order — the same merge rule at every node, whether or not a shard
+    boundary runs between parent and child.  The result therefore equals
+    :func:`repro.core.protocol.fold_reply_tree` for *any* ownership map
+    (the shard property tests assert this), and ``cross_shard_merges``
+    counts the partials that crossed a tile edge on the way up.
+    """
+    children = tree.children()
+    partial: dict[int, list[Event]] = {}
+    crossings = 0
+    order = sorted(tree.nodes(), key=lambda n: (-tree.depth_of(n), n))
+    for node in order:
+        events = list(leaf_events.get(node, ()))
+        for child in children.get(node, ()):
+            events.extend(partial.pop(child))
+            if owner.get(child) != owner.get(node):
+                crossings += 1
+        partial[node] = events
+    return FoldedReplies(events=partial[tree.root], cross_shard_merges=crossings)
+
+
+def merge_counter_maps(
+    per_shard: Mapping[int, Mapping[str, int]],
+) -> dict[str, int]:
+    """Sum per-shard counter maps in sorted (shard, key) order."""
+    merged: dict[str, int] = {}
+    for shard in sorted(per_shard):
+        counters = per_shard[shard]
+        for key in sorted(counters):
+            merged[key] = merged.get(key, 0) + counters[key]
+    return dict(sorted(merged.items()))
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry normalization                                                     #
+# --------------------------------------------------------------------------- #
+
+
+def _strip_span(span: dict[str, Any]) -> dict[str, Any]:
+    """A copy of one span dict without shard tags (recursively)."""
+    out: dict[str, Any] = {}
+    for key in sorted(span):
+        if key == "attrs":
+            attrs = {
+                name: value
+                for name, value in sorted(span["attrs"].items())
+                if name != "shard_id"
+            }
+            if attrs:
+                out["attrs"] = attrs
+        elif key == "children":
+            out["children"] = [_strip_span(child) for child in span["children"]]
+        else:
+            out[key] = span[key]
+    return out
+
+
+def merge_shard_records(
+    records: Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Normalize telemetry records to their unsharded form.
+
+    Drops the per-record ``sharding`` block and every span's ``shard_id``
+    attribute — the only fields a ``--shards K`` run adds — leaving
+    exactly the record a ``--shards 1`` run emits.  Records without shard
+    tags pass through unchanged, so merging is idempotent and safe to
+    apply to both sides of a comparison.
+    """
+    merged: list[dict[str, Any]] = []
+    for record in records:
+        out: dict[str, Any] = {}
+        for key in sorted(record):
+            if key == "sharding":
+                continue
+            if key == "spans":
+                out["spans"] = [_strip_span(span) for span in record["spans"]]
+            else:
+                out[key] = record[key]
+        merged.append(out)
+    return merged
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Normalize a telemetry JSONL export: ``merge IN.jsonl OUT.jsonl``."""
+    from repro.telemetry.export import read_telemetry_jsonl, write_telemetry_jsonl
+
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if len(arguments) != 2:
+        print(
+            "usage: python -m repro.shard.merge IN.jsonl OUT.jsonl",
+            file=sys.stderr,
+        )
+        return 2
+    header, records = read_telemetry_jsonl(arguments[0])
+    header_fields = {
+        key: header[key]
+        for key in sorted(header)
+        if key not in ("schema", "records", "shards")
+    }
+    write_telemetry_jsonl(
+        arguments[1], merge_shard_records(records), **header_fields
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Tests for the perf-trend tripwire (repro.bench.perf)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import perf
+
+
+@pytest.fixture
+def tiny_grid(monkeypatch):
+    """Replace the pinned grid with ~1ms cells so CLI tests stay fast.
+
+    The cells must take measurable time: normalized values are rounded to
+    two decimals, and a true no-op would round to 0.00 and never regress.
+    """
+    from time import sleep
+
+    monkeypatch.setattr(
+        perf,
+        "PERF_CELLS",
+        {"tiny-a": lambda: sleep(0.001), "tiny-b": lambda: sleep(0.001)},
+    )
+    monkeypatch.setattr(perf, "calibrate", lambda rounds=5: 0.01)
+
+
+class TestCheckLogic:
+    BASELINE = {"cells": {"cell": {"seconds": 1.0, "normalized": 10.0}}}
+
+    def _entry(self, normalized: float, seconds: float = 1.0) -> dict:
+        return {
+            "cells": {"cell": {"seconds": seconds, "normalized": normalized}}
+        }
+
+    def test_within_threshold_passes(self):
+        entry = self._entry(11.9, seconds=1.19)
+        assert perf.check_against_baseline(self.BASELINE, entry) == {}
+
+    def test_over_threshold_on_both_axes_fails(self):
+        problems = perf.check_against_baseline(
+            self.BASELINE, self._entry(12.1, seconds=1.3)
+        )
+        assert list(problems) == ["cell"]
+        assert "12.10" in problems["cell"]
+
+    def test_calibration_jitter_alone_does_not_fail(self):
+        # Normalized blew past the threshold but raw seconds are flat:
+        # the yardstick moved, not the cell.
+        entry = self._entry(12.1, seconds=1.0)
+        assert perf.check_against_baseline(self.BASELINE, entry) == {}
+
+    def test_slower_machine_alone_does_not_fail(self):
+        # Raw seconds up but normalized flat: the machine moved.
+        entry = self._entry(10.0, seconds=1.5)
+        assert perf.check_against_baseline(self.BASELINE, entry) == {}
+
+    def test_new_cell_without_baseline_is_ignored(self):
+        problems = perf.check_against_baseline(
+            {"cells": {}}, self._entry(99.0, seconds=99.0)
+        )
+        assert problems == {}
+
+
+class TestCalibration:
+    def test_calibrate_returns_positive_seconds(self):
+        assert perf.calibrate(rounds=1) > 0.0
+
+
+class TestMain:
+    def test_first_run_seeds_baseline(self, tiny_grid, tmp_path, capsys):
+        trend = tmp_path / "BENCH_scale.json"
+        assert perf.main(["--json", str(trend), "--label", "t0"]) == 0
+        payload = json.loads(trend.read_text())
+        assert payload["schema"] == perf.PERF_SCHEMA
+        assert set(payload["baseline"]["cells"]) == {"tiny-a", "tiny-b"}
+        assert len(payload["history"]) == 1
+        assert payload["history"][0]["label"] == "t0"
+
+    def test_check_appends_history_and_passes(self, tiny_grid, tmp_path):
+        trend = tmp_path / "BENCH_scale.json"
+        perf.main(["--json", str(trend), "--label", "t0"])
+        assert perf.main(["--json", str(trend), "--check", "--label", "t1"]) == 0
+        payload = json.loads(trend.read_text())
+        assert [entry["label"] for entry in payload["history"]] == ["t0", "t1"]
+
+    def test_check_fails_on_regression(self, tiny_grid, tmp_path, capsys):
+        trend = tmp_path / "BENCH_scale.json"
+        perf.main(["--json", str(trend), "--label", "t0"])
+        payload = json.loads(trend.read_text())
+        # Shrink the committed baseline so the (instant) rerun regresses
+        # on both axes.
+        for cell in payload["baseline"]["cells"].values():
+            cell["normalized"] = cell["normalized"] / 1000.0 or 1e-9
+            cell["seconds"] = cell["seconds"] / 1000.0 or 1e-9
+        trend.write_text(json.dumps(payload))
+        assert perf.main(["--json", str(trend), "--check", "--label", "t1"]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_update_baseline_overwrites(self, tiny_grid, tmp_path):
+        trend = tmp_path / "BENCH_scale.json"
+        perf.main(["--json", str(trend), "--label", "t0"])
+        assert (
+            perf.main(
+                ["--json", str(trend), "--update-baseline", "--label", "t1"]
+            )
+            == 0
+        )
+        payload = json.loads(trend.read_text())
+        assert payload["baseline"]["label"] == "t1"
+
+    def test_bad_schema_is_rejected(self, tiny_grid, tmp_path):
+        trend = tmp_path / "BENCH_scale.json"
+        trend.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError, match="schema"):
+            perf.main(["--json", str(trend)])
+
+
+def test_committed_trend_file_is_valid():
+    """The repo's results/BENCH_scale.json parses and carries the demo."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "results" / "BENCH_scale.json"
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == perf.PERF_SCHEMA
+    assert set(payload["baseline"]["cells"]) == set(perf.PERF_CELLS)
+    demo = payload["scale_demo"]
+    assert demo["size"] >= 9000, "scale demo must be >=10x the 900-node max"
+    assert demo["shards"] > 1
+    assert demo["seconds"] < demo["budget_seconds"]

@@ -20,6 +20,7 @@ SLOW_EXAMPLES = [
     "environmental_monitoring.py",
     "advanced_queries.py",
     "failure_recovery.py",
+    "sharded_scaleout.py",
 ]
 
 

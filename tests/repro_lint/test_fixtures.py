@@ -43,7 +43,7 @@ def test_corpus_is_present() -> None:
 
 def test_every_rule_has_bad_and_good_coverage() -> None:
     """Each REP code fires somewhere in bad/ and is exercised by good/."""
-    expected_codes = {f"REP00{n}" for n in range(1, 6)}
+    expected_codes = {f"REP00{n}" for n in range(1, 7)}
     bad_codes = {code for path in BAD for _, code in _expected_pairs(path)}
     assert bad_codes == expected_codes
 

@@ -53,6 +53,7 @@ class Config:
         "src/repro/core/",
         "src/repro/routing/",
         "src/repro/network/",
+        "src/repro/shard/",
         "src/repro/telemetry/",
     )
     #: REP004 — geometric predicate modules where float ``==`` is a hazard.
@@ -63,6 +64,9 @@ class Config:
     )
     #: REP005 — the accounting layer that owns ledger internals.
     rep005_allow: tuple[str, ...] = ("src/repro/network/",)
+    #: REP006 — cross-shard merge modules, where dict insertion order
+    #: reflects shard arrival order and every fold must sort explicitly.
+    rep006_paths: tuple[str, ...] = ("src/repro/shard/merge.py",)
 
     def merged_with(self, overrides: dict[str, object]) -> "Config":
         """A copy with ``overrides`` (pyproject table entries) applied."""

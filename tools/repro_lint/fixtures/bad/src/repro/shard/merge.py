@@ -1,0 +1,34 @@
+"""Fixture: cross-shard folds that consume dict insertion order.
+
+In a sharded run, insertion order of a merged mapping reflects which
+worker finished first — every iteration below silently bakes shard
+arrival order into the fold result.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def merge_counters(per_shard: Mapping[int, Mapping[str, int]]) -> dict[str, int]:
+    merged: dict[str, int] = {}
+    for shard in per_shard:  # expect: REP006
+        merged.update(per_shard[shard])
+    return merged
+
+
+def shard_keys(partials: dict[int, list[int]]) -> list[int]:
+    return list(partials)  # expect: REP006
+
+
+def fold_pairs(left: dict[str, int], right: dict[str, int]) -> list[tuple[str, int]]:
+    combined = left | right
+    return [(key, value) for key, value in combined.items()]  # expect: REP006
+
+
+def first_values(partials: dict[int, int]) -> tuple[int, ...]:
+    return tuple(partials.values())  # expect: REP006
+
+
+def boundary_nodes(touched: set[int]) -> list[int]:
+    return [node for node in touched]  # expect: REP003

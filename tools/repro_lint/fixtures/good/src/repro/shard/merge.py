@@ -1,0 +1,31 @@
+"""Fixture: the same cross-shard folds with explicit ordering — silent.
+
+Every iteration imposes sorted order, so the fold result is independent
+of which shard's partial arrived first.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def merge_counters(per_shard: Mapping[int, Mapping[str, int]]) -> dict[str, int]:
+    merged: dict[str, int] = {}
+    for shard in sorted(per_shard):
+        counters = per_shard[shard]
+        for key in sorted(counters):
+            merged[key] = merged.get(key, 0) + counters[key]
+    return dict(sorted(merged.items()))
+
+
+def shard_keys(partials: dict[int, list[int]]) -> list[int]:
+    return sorted(partials)
+
+
+def fold_pairs(left: dict[str, int], right: dict[str, int]) -> list[tuple[str, int]]:
+    combined = left | right
+    return [(key, combined[key]) for key in sorted(combined)]
+
+
+def boundary_nodes(touched: set[int]) -> list[int]:
+    return [node for node in sorted(touched)]

@@ -29,6 +29,7 @@ from repro.bench.ablations import run_hotspot_ablation, run_routing_ablation
 from repro.bench.experiments import EXPERIMENTS, get_experiment
 from repro.bench.harness import run_experiment
 from repro.bench.reporting import (
+    err_flagged_lines,
     render_err_sidecar,
     render_result,
     render_telemetry,
@@ -98,8 +99,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "capture per-(size, trial, system) telemetry — spans, hotspot "
-            "and energy views — and write it as JSONL (schema telemetry/1); "
+            "and energy views — and write it as JSONL (schema telemetry/2); "
             "byte-identical for any --jobs value at the same seed"
+        ),
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        action="store_true",
+        help=(
+            "record a bounded per-hop event ring (hop taken, greedy/"
+            "perimeter mode, retransmits, losses) keyed by packet id and "
+            "export it in the telemetry records; requires --telemetry; "
+            "replay one packet with 'python -m repro.obs.route'"
+        ),
+    )
+    parser.add_argument(
+        "--percentiles",
+        action="store_true",
+        help=(
+            "for 'report' on a telemetry export: append the per-(system, "
+            "size) p50/p95/p99 query latency and message-cost table"
         ),
     )
     parser.add_argument(
@@ -158,15 +177,19 @@ def _progress(line: str) -> None:
     print(line, file=sys.stderr)
 
 
-def _render_report_target(target: str) -> str:
-    """Render ``pool-bench report TARGET`` to text.
+def _render_report_target(
+    target: str, *, percentiles: bool = False
+) -> tuple[str, int]:
+    """Render ``pool-bench report TARGET``; returns ``(text, flagged)``.
 
     ``TARGET`` is either a telemetry JSONL export (``--telemetry``) or a
     results JSON export (``--json``), picked by extension.  Either way, a
     sibling ``.err`` sidecar — the captured stderr of the run that
     produced the export, e.g. ``results/fig6a.err`` next to
     ``results/fig6a.json`` — is appended so crashed cells are visible in
-    the report instead of silently missing from the tables.
+    the report instead of silently missing from the tables.  ``flagged``
+    counts the sidecar lines that look like failures; the caller turns a
+    non-zero count into a non-zero exit status.
     """
     path = Path(target)
     parts: list[str]
@@ -179,15 +202,14 @@ def _render_report_target(target: str) -> str:
         parts = [render_result(result_from_export(entry)) for entry in payload]
     else:
         header, records = read_telemetry_jsonl(target)
-        parts = [render_telemetry(header, records)]
+        parts = [render_telemetry(header, records, percentiles=percentiles)]
+    flagged = 0
     sidecar = path.with_suffix(".err")
     if sidecar.is_file():
-        parts.append(
-            render_err_sidecar(
-                str(sidecar), sidecar.read_text(encoding="utf-8")
-            )
-        )
-    return "\n\n".join(parts)
+        text = sidecar.read_text(encoding="utf-8")
+        flagged = len(err_flagged_lines(text))
+        parts.append(render_err_sidecar(str(sidecar), text))
+    return "\n\n".join(parts), flagged
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -210,11 +232,23 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         try:
-            rendered = _render_report_target(args.target)
+            rendered, flagged = _render_report_target(
+                args.target, percentiles=args.percentiles
+            )
         except (OSError, ValidationError, ValueError, KeyError) as error:
             print(f"cannot read {args.target}: {error}", file=sys.stderr)
             return 1
         print(rendered)
+        if flagged:
+            # A rendered report over a crashed run must not exit green:
+            # CI pipelines that chain `pool-bench ... 2>results/x.err &&
+            # pool-bench report results/x.json` rely on this status.
+            print(
+                f"report: {flagged} failure-flagged stderr line"
+                f"{'' if flagged == 1 else 's'} in the .err sidecar",
+                file=sys.stderr,
+            )
+            return 3
         return 0
 
     if args.experiment == "abl-hotspot":
@@ -228,6 +262,14 @@ def main(argv: list[str] | None = None) -> int:
         names = sorted(EXPERIMENTS)
     else:
         names = [args.experiment]
+
+    if args.flight_recorder and args.telemetry is None:
+        print(
+            "--flight-recorder requires --telemetry (the ring is exported "
+            "inside the telemetry records)",
+            file=sys.stderr,
+        )
+        return 2
 
     fault_plan = None
     if args.fault_plan is not None:
@@ -256,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
             config = replace(
                 config, shards=args.shards, shard_workers=args.shard_workers
             )
+        if args.flight_recorder:
+            config = replace(config, flight_recorder=True)
         started = perf_counter()
         result = run_experiment(
             config,

@@ -43,6 +43,7 @@ from repro.network.deployment import Deployment
 from repro.network.network import Network
 from repro.network.reliability import ArqPolicy, LossModel, ReliabilityLayer
 from repro.network.topology import Topology
+from repro.obs.recorder import FlightRecorder
 from repro.rng import derive
 from repro.telemetry.export import collect_system_record
 from repro.telemetry.spans import SpanRecorder
@@ -387,6 +388,12 @@ def _run_cell_systems(
             # Set before the system scopes its own ledger off the facade
             # so the recorder propagates to every scope below.
             facade.telemetry = recorder
+        if telemetry and config.flight_recorder:
+            # Same placement rule; one ring per system so packet ids are
+            # a per-system sequence (the replay CLI's key).
+            facade.flight_recorder = FlightRecorder(
+                config.flight_recorder_capacity
+            )
         reliability = _make_reliability(config, seed, size, trial)
         if reliability is not None:
             # Same placement rule as the recorder: the layer must be on

@@ -43,6 +43,9 @@ __all__ = [
     "run_grid",
     "run_scale_demo",
     "check_against_baseline",
+    "capture_profile_records",
+    "write_profile_baseline",
+    "attribute_regression",
     "main",
 ]
 
@@ -58,6 +61,18 @@ PERF_SCHEMA = "bench-scale/1"
 REGRESSION_THRESHOLD = 1.20
 
 _DEFAULT_PATH = Path("results") / "BENCH_scale.json"
+
+#: Committed telemetry capture of the pinned ``cell-900`` benchmark cell
+#: — the *structural* baseline the wall-clock tripwire diffs against.
+#: Wall-clock says THAT something slowed down; the capture diff says
+#: WHICH subtree's deterministic work grew (or that none did, i.e. the
+#: slowdown is a constant factor, not an algorithmic change).
+_PROFILE_BASELINE_PATH = Path("results") / "BENCH_profile.jsonl"
+
+#: Attribution artifacts written next to the trend file on a --check
+#: failure (CI uploads both).
+_ATTRIBUTION_PATH = Path("results") / "perf-attribution.json"
+_ATTRIBUTION_TRACE_PATH = Path("results") / "perf-attribution.trace.json"
 
 
 def calibrate(rounds: int = 5) -> float:
@@ -208,6 +223,68 @@ def run_scale_demo(size: int = 10_000, shards: int = 4) -> dict[str, Any]:
     }
 
 
+def capture_profile_records() -> list[dict[str, Any]]:
+    """Telemetry records of the pinned ``cell-900`` cell (seed 0).
+
+    The same configuration :func:`_bench_cell_900` times, re-run with a
+    span recorder attached; deterministic, so two builds of the same code
+    produce byte-identical records and ``obs.diff`` of one against the
+    committed baseline isolates genuine structural drift.
+    """
+    _, records = _run_cell(_scale_config(900, 1), 0, 900, 0, telemetry=True)
+    return records
+
+
+def write_profile_baseline(
+    path: Path = _PROFILE_BASELINE_PATH,
+) -> Path:
+    """Capture and write the committed profile baseline."""
+    from repro.telemetry.export import write_telemetry_jsonl
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return write_telemetry_jsonl(path, capture_profile_records(), seed=0)
+
+
+def attribute_regression(
+    baseline_path: Path = _PROFILE_BASELINE_PATH,
+    *,
+    out_json: Path = _ATTRIBUTION_PATH,
+    out_trace: Path = _ATTRIBUTION_TRACE_PATH,
+) -> dict[str, Any] | None:
+    """Diff the committed profile baseline against a fresh capture.
+
+    Returns the ``obs.diff`` verdict — also written to ``out_json``, with
+    the fresh capture's Chrome-trace flamegraph next to it — or ``None``
+    when no baseline is committed.  A *clean* verdict on a failed
+    wall-clock check means the work performed did not change: the
+    regression is a constant-factor slowdown (machine, interpreter, or
+    per-operation cost), not a new phase doing more work.
+    """
+    from repro.obs.diff import diff_records
+    from repro.obs.flame import chrome_trace
+    from repro.telemetry.export import read_telemetry_jsonl
+
+    if not baseline_path.is_file():
+        return None
+    _header, baseline_records = read_telemetry_jsonl(baseline_path)
+    candidate_records = capture_profile_records()
+    verdict = diff_records(baseline_records, candidate_records)
+    out_json.parent.mkdir(parents=True, exist_ok=True)
+    out_json.write_text(
+        json.dumps(verdict, indent=2, sort_keys=True) + "\n", "utf-8"
+    )
+    out_trace.write_text(
+        json.dumps(
+            chrome_trace(candidate_records),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        + "\n",
+        "utf-8",
+    )
+    return verdict
+
+
 def _load(path: Path) -> dict[str, Any]:
     if not path.is_file():
         return {"schema": PERF_SCHEMA, "baseline": None, "scale_demo": None, "history": []}
@@ -277,6 +354,14 @@ def main(argv: list[str] | None = None) -> int:
         help="record this run as the committed baseline",
     )
     parser.add_argument(
+        "--update-profile-baseline",
+        action="store_true",
+        help=(
+            f"re-capture {_PROFILE_BASELINE_PATH} (the telemetry profile "
+            "of the cell-900 cell that --check diffs for attribution)"
+        ),
+    )
+    parser.add_argument(
         "--scale-demo",
         action="store_true",
         help="also run the 10^4-node sharded scale demo (slow)",
@@ -315,6 +400,13 @@ def main(argv: list[str] | None = None) -> int:
             f"({'UNDER' if demo['under_budget'] else 'OVER'} budget)"
         )
 
+    # Attribution artifacts live next to the trend file, so a --json
+    # override (the tests, ad-hoc runs) never touches results/.
+    profile_baseline = path.parent / _PROFILE_BASELINE_PATH.name
+    if args.update_profile_baseline:
+        profile_path = write_profile_baseline(profile_baseline)
+        print(f"profile baseline written to {profile_path}", file=sys.stderr)
+
     exit_code = 0
     if args.update_baseline or payload.get("baseline") is None:
         payload["baseline"] = {
@@ -348,6 +440,36 @@ def main(argv: list[str] | None = None) -> int:
             print(f"REGRESSION {problem}", file=sys.stderr)
         if problems:
             exit_code = 1
+            attribution_json = path.parent / _ATTRIBUTION_PATH.name
+            attribution_trace = path.parent / _ATTRIBUTION_TRACE_PATH.name
+            verdict = attribute_regression(
+                profile_baseline,
+                out_json=attribution_json,
+                out_trace=attribution_trace,
+            )
+            if verdict is None:
+                print(
+                    f"attribution skipped: no {profile_baseline} "
+                    "baseline (run --update-profile-baseline and commit it)",
+                    file=sys.stderr,
+                )
+            else:
+                from repro.obs.diff import render_verdict
+
+                print(
+                    f"attribution ({attribution_json}, flamegraph "
+                    f"{attribution_trace}):",
+                    file=sys.stderr,
+                )
+                if verdict["clean"]:
+                    print(
+                        "  profile diff clean: constant-factor slowdown, "
+                        "no structural change in the work performed",
+                        file=sys.stderr,
+                    )
+                else:
+                    for line in render_verdict(verdict).splitlines():
+                        print(f"  {line}", file=sys.stderr)
         else:
             print("perf check: all cells within threshold")
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.bench.harness import ExperimentResult, ResultRow
+from repro.obs.percentiles import latency_report
 
 __all__ = [
     "Table",
@@ -18,10 +19,12 @@ __all__ = [
     "ratio_table",
     "render_result",
     "result_from_export",
+    "err_flagged_lines",
     "render_err_sidecar",
     "telemetry_hotspot_table",
     "telemetry_energy_table",
     "telemetry_span_table",
+    "telemetry_percentile_table",
     "render_telemetry",
 ]
 
@@ -200,6 +203,21 @@ def result_from_export(payload: Mapping[str, Any]) -> ExperimentResult:
 _ERR_SIGNS = ("traceback", "error", "exception", "failed", "fatal")
 
 
+def err_flagged_lines(text: str) -> list[str]:
+    """The lines of a captured-stderr body that look like failures.
+
+    Shared by :func:`render_err_sidecar` (which marks them with ``!``)
+    and the ``pool-bench report`` exit-code policy (a non-empty result
+    turns the report's exit status non-zero so CI can't render a broken
+    run green).
+    """
+    return [
+        line
+        for line in text.splitlines()
+        if any(sign in line.lower() for sign in _ERR_SIGNS)
+    ]
+
+
 def render_err_sidecar(path: str, text: str) -> str:
     """Render a captured-stderr sidecar (``results/<name>.err``).
 
@@ -212,11 +230,7 @@ def render_err_sidecar(path: str, text: str) -> str:
     a one-line all-clear.
     """
     lines = text.splitlines()
-    flagged = [
-        line
-        for line in lines
-        if any(sign in line.lower() for sign in _ERR_SIGNS)
-    ]
+    flagged = err_flagged_lines(text)
     noun = "line" if len(lines) == 1 else "lines"
     if not flagged:
         heading = (
@@ -317,10 +331,54 @@ def telemetry_span_table(records: Sequence[Mapping[str, Any]]) -> Table:
     return table
 
 
+def telemetry_percentile_table(records: Sequence[Mapping[str, Any]]) -> Table:
+    """Per-(system, size) query-latency percentiles (``--percentiles``).
+
+    Message-cost (work-unit) percentiles are always present; the
+    wall-clock columns render as ``-`` unless the capture carried span
+    timings for every query in the slice, keeping deterministic numbers
+    visually segregated from measured ones.
+    """
+    table = Table(
+        title="query percentiles (work units = charged messages per query)",
+        headers=[
+            "system",
+            "size",
+            "queries",
+            "wu p50",
+            "wu p95",
+            "wu p99",
+            "sec p50",
+            "sec p95",
+            "sec p99",
+        ],
+    )
+    for row in latency_report(records):
+        table.add(
+            row.system,
+            row.size,
+            row.queries,
+            f"{row.wu_p50:.1f}",
+            f"{row.wu_p95:.1f}",
+            f"{row.wu_p99:.1f}",
+            "-" if row.seconds_p50 is None else f"{row.seconds_p50:.6f}",
+            "-" if row.seconds_p95 is None else f"{row.seconds_p95:.6f}",
+            "-" if row.seconds_p99 is None else f"{row.seconds_p99:.6f}",
+        )
+    return table
+
+
 def render_telemetry(
-    header: Mapping[str, Any], records: Sequence[Mapping[str, Any]]
+    header: Mapping[str, Any],
+    records: Sequence[Mapping[str, Any]],
+    *,
+    percentiles: bool = False,
 ) -> str:
-    """Full text report over one telemetry export (``pool-bench report``)."""
+    """Full text report over one telemetry export (``pool-bench report``).
+
+    ``percentiles=True`` (the ``--percentiles`` flag) appends the
+    per-(system, size) p50/p95/p99 latency table.
+    """
     experiments = sorted(
         {str(r.get("experiment", "")) for r in records if r.get("experiment")}
     )
@@ -336,6 +394,8 @@ def render_telemetry(
         telemetry_energy_table(records).render(),
         telemetry_span_table(records).render(),
     ]
+    if percentiles:
+        parts.append(telemetry_percentile_table(records).render())
     return "\n\n".join(parts)
 
 

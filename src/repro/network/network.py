@@ -36,6 +36,7 @@ from repro.routing.multicast import MulticastTree, TreeBuilder, TreeDelivery
 from repro.routing.planarization import PlanarizationKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.recorder import FlightRecorder
     from repro.telemetry.spans import SpanRecorder
 
 __all__ = ["Network"]
@@ -63,6 +64,11 @@ class Network:
         query lifecycles on this facade and every scope derived from it.
         ``None`` (the default) keeps the instrumented paths at one ``if``
         per operation with zero allocation, like the message tracer.
+    flight_recorder:
+        Optional :class:`~repro.obs.recorder.FlightRecorder` capturing
+        per-hop events (hop + GPSR mode, ARQ losses/retransmits) for
+        every unicast sent through this facade and its scopes.  Same
+        zero-cost-when-``None`` contract as ``telemetry``.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class Network:
         stats: MessageStats | None = None,
         telemetry: "SpanRecorder | None" = None,
         reliability: ReliabilityLayer | None = None,
+        flight_recorder: "FlightRecorder | None" = None,
     ) -> None:
         if (topology is None) == (deployment is None):
             raise ConfigurationError(
@@ -88,6 +95,7 @@ class Network:
         self.energy_model = energy_model or EnergyModel()
         self.telemetry = telemetry
         self.reliability = reliability
+        self.flight_recorder = flight_recorder
         if reliability is not None:
             reliability.bind(self.topology)
 
@@ -124,6 +132,7 @@ class Network:
             stats=self.stats.scope(label),
             telemetry=self.telemetry,
             reliability=self.reliability,
+            flight_recorder=self.flight_recorder,
         )
 
     # ------------------------------------------------------------------ #
@@ -201,11 +210,39 @@ class Network:
         ``stats.record_path``; with one, each hop runs ARQ and an
         exhausted hop raises :class:`~repro.exceptions.UnreachableError`
         carrying the delivered prefix.
+
+        With a flight recorder attached, the logical send and every hop
+        (annotated with its GPSR mode, when the path came from the route
+        cache) are appended to the ring *without touching* the routing
+        or accounting path — disabling the recorder yields captures byte
+        identical to a build without it.
         """
+        flight = self.flight_recorder
+        pid: int | None = None
+        modes: tuple[str, ...] | None = None
+        if flight is not None and len(path) > 1:
+            pid = flight.open_packet(category.value, path[0], path[-1])
+            modes = self.router.hop_modes(path[0], path[-1])
+            if modes is not None and len(modes) != len(path) - 1:
+                # A caller-supplied path (e.g. a reversed reply leg) does
+                # not line up with the cached route; record unknown modes
+                # rather than mislabel hops.
+                modes = None
         if self.reliability is None:
             self.stats.record_path(category, path)
+            if flight is not None and pid is not None:
+                for index in range(len(path) - 1):
+                    flight.record(
+                        pid,
+                        "hop",
+                        path[index],
+                        path[index + 1],
+                        modes[index] if modes is not None else None,
+                    )
         else:
-            self.reliability.send_path(category, path, self.stats)
+            self.reliability.send_path(
+                category, path, self.stats, flight=flight, pid=pid, modes=modes
+            )
 
     def multicast(
         self,

@@ -48,6 +48,7 @@ from repro.rng import SeedLike, derive
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.radio import MessageStats
     from repro.network.topology import Topology
+    from repro.obs.recorder import FlightRecorder
 
 __all__ = [
     "LossModel",
@@ -456,6 +457,10 @@ class ReliabilityLayer:
         sender: int,
         receiver: int,
         stats: "MessageStats",
+        *,
+        flight: "FlightRecorder | None" = None,
+        pid: int | None = None,
+        mode: str | None = None,
     ) -> bool:
         """Attempt one hop under ARQ; charge every attempt to ``stats``.
 
@@ -464,26 +469,48 @@ class ReliabilityLayer:
         attempt is charged under ``category``; retransmissions under
         ``RETRANSMIT``; a recovered exchange adds one explicit ``ACK``
         from receiver back to sender.
+
+        With ``flight``/``pid`` set, the ARQ lifecycle is appended to the
+        flight-recorder ring: a ``retransmit`` per re-attempt, a ``loss``
+        per in-flight drop, the delivered ``hop`` (annotated with the
+        GPSR ``mode``) plus its recovery ``ack``, or a terminal
+        ``failed`` when the budget runs out.  Recording never changes a
+        decision: the loss streams and ledger charges are untouched.
         """
+        if flight is None or pid is None:
+            flight = None
+            pid = None
         attempt = 0
         while True:
             tick = self.begin_transmission()
             if sender in self.dead:
                 self.failed_hops += 1
+                if flight is not None and pid is not None:
+                    flight.record(pid, "failed", sender, receiver, "sender-dead")
                 return False
             charge = category if attempt == 0 else MessageCategory.RETRANSMIT
             stats.record(charge, sender=sender, receiver=receiver)
             self.attempted += 1
             if attempt > 0:
                 self.retransmissions += 1
+                if flight is not None and pid is not None:
+                    flight.record(pid, "retransmit", sender, receiver, attempt)
             if not self.transmission_lost(tick, category, sender, receiver):
                 self.delivered += 1
+                if flight is not None and pid is not None:
+                    flight.record(pid, "hop", sender, receiver, mode)
                 if attempt > 0:
                     stats.record(MessageCategory.ACK, sender=receiver, receiver=sender)
                     self.acks += 1
+                    if flight is not None and pid is not None:
+                        flight.record(pid, "ack", receiver, sender, attempt)
                 return True
+            if flight is not None and pid is not None:
+                flight.record(pid, "loss", sender, receiver, attempt)
             if attempt >= self.arq.retry_limit:
                 self.failed_hops += 1
+                if flight is not None and pid is not None:
+                    flight.record(pid, "failed", sender, receiver, "arq-exhausted")
                 return False
             attempt += 1
 
@@ -492,16 +519,30 @@ class ReliabilityLayer:
         category: MessageCategory,
         path: list[int] | tuple[int, ...],
         stats: "MessageStats",
+        *,
+        flight: "FlightRecorder | None" = None,
+        pid: int | None = None,
+        modes: tuple[str, ...] | None = None,
     ) -> None:
         """Deliver along ``path`` hop by hop, raising on an exhausted hop.
 
         Mirrors :meth:`MessageStats.record_path` exactly when nothing is
         lost.  On failure the raised :class:`UnreachableError` carries the
         prefix that *was* reached (``partial_path``) and the failed hop.
+        ``flight``/``pid``/``modes`` thread the flight-recorder context
+        through to :meth:`deliver_hop` (``modes[i]`` labels hop ``i``).
         """
         for index in range(len(path) - 1):
             sender, receiver = path[index], path[index + 1]
-            if not self.deliver_hop(category, sender, receiver, stats):
+            if not self.deliver_hop(
+                category,
+                sender,
+                receiver,
+                stats,
+                flight=flight,
+                pid=pid,
+                mode=modes[index] if modes is not None else None,
+            ):
                 raise UnreachableError(
                     f"hop {sender}->{receiver} undeliverable after "
                     f"{self.arq.retry_limit} retransmission(s)",

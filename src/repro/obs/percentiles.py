@@ -1,0 +1,120 @@
+"""Per-(system, size) latency/cost percentiles — the SLO substrate.
+
+Folds a telemetry capture's *root query spans* into p50/p95/p99 of two
+currencies per ``(system, size)``:
+
+* **message cost** (work units) — always available and deterministic;
+* **per-query wall-clock seconds** — only when the capture was taken
+  with span timings included; deterministic captures simply omit the
+  seconds columns instead of mixing currencies.
+
+Rendered by ``pool-bench report capture.jsonl --percentiles``.  The
+future online query service's SLO reporting sits on exactly these
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+__all__ = ["PercentileRow", "percentile", "latency_report"]
+
+#: Span phases that mark one end-to-end query operation at the root.
+_QUERY_PHASES = frozenset({"query"})
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    Deterministic nearest-rank-with-interpolation over the sorted values
+    (the same convention as ``numpy.percentile``'s default) so reports
+    are stable across platforms; raises ``ValueError`` on empty input.
+    """
+    if not values:
+        raise ValueError("percentile of empty value list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True, slots=True)
+class PercentileRow:
+    """Percentile summary of one (system, size) slice of a capture."""
+
+    system: str
+    size: int
+    queries: int
+    wu_p50: float
+    wu_p95: float
+    wu_p99: float
+    seconds_p50: float | None = None
+    seconds_p95: float | None = None
+    seconds_p99: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "system": self.system,
+            "size": self.size,
+            "queries": self.queries,
+            "wu_p50": round(self.wu_p50, 2),
+            "wu_p95": round(self.wu_p95, 2),
+            "wu_p99": round(self.wu_p99, 2),
+        }
+        if self.seconds_p50 is not None:
+            payload["seconds_p50"] = round(self.seconds_p50, 6)
+            payload["seconds_p95"] = round(self.seconds_p95 or 0.0, 6)
+            payload["seconds_p99"] = round(self.seconds_p99 or 0.0, 6)
+        return payload
+
+
+def _query_roots(record: Mapping[str, Any]) -> list[Mapping[str, Any]]:
+    return [
+        span
+        for span in record.get("spans", ())
+        if str(span.get("phase", "")) in _QUERY_PHASES
+    ]
+
+
+def latency_report(records: Iterable[Mapping[str, Any]]) -> list[PercentileRow]:
+    """Fold a capture into per-(system, size) percentile rows.
+
+    One sample per root query span: its charged messages (work units)
+    and, when present, its measured seconds.  Slices are sorted by
+    ``(system, size)``; slices without query spans are omitted.
+    """
+    wu_samples: dict[tuple[str, int], list[float]] = {}
+    sec_samples: dict[tuple[str, int], list[float]] = {}
+    for record in records:
+        key = (str(record.get("system", "")), int(record.get("size", 0)))
+        for span in _query_roots(record):
+            wu_samples.setdefault(key, []).append(float(span.get("messages", 0)))
+            if span.get("seconds") is not None:
+                sec_samples.setdefault(key, []).append(float(span["seconds"]))
+    rows: list[PercentileRow] = []
+    for key in sorted(wu_samples):
+        system, size = key
+        wu = wu_samples[key]
+        seconds = sec_samples.get(key)
+        timed = seconds is not None and len(seconds) == len(wu)
+        rows.append(
+            PercentileRow(
+                system=system,
+                size=size,
+                queries=len(wu),
+                wu_p50=percentile(wu, 50.0),
+                wu_p95=percentile(wu, 95.0),
+                wu_p99=percentile(wu, 99.0),
+                seconds_p50=percentile(seconds, 50.0) if timed and seconds else None,
+                seconds_p95=percentile(seconds, 95.0) if timed and seconds else None,
+                seconds_p99=percentile(seconds, 99.0) if timed and seconds else None,
+            )
+        )
+    return rows

@@ -21,7 +21,11 @@ from repro.events.queries import RangeQuery
 from repro.exceptions import ValidationError
 from repro.geometry import Rect
 from repro.network.topology import Topology
-from repro.telemetry.export import TELEMETRY_SCHEMA, validate_record
+from repro.telemetry.export import (
+    ACCEPTED_SCHEMAS,
+    TELEMETRY_SCHEMA,
+    validate_record,
+)
 
 __all__ = [
     "topology_to_dict",
@@ -177,8 +181,18 @@ def telemetry_to_dict(records: list[dict[str, Any]]) -> dict[str, Any]:
 
 
 def telemetry_from_dict(payload: dict[str, Any]) -> list[dict[str, Any]]:
-    """Unwrap a telemetry document; rejects unknown schema versions."""
-    _check_schema(payload, TELEMETRY_SCHEMA)
+    """Unwrap a telemetry document; rejects unknown schema versions.
+
+    Accepts every tag in
+    :data:`repro.telemetry.export.ACCEPTED_SCHEMAS` — same reader policy
+    as the JSONL form, so archived ``telemetry/1`` documents stay usable.
+    """
+    schema = payload.get("schema")
+    if schema not in ACCEPTED_SCHEMAS:
+        raise ValidationError(
+            f"expected schema in {ACCEPTED_SCHEMAS!r}, got {schema!r}; "
+            "refusing to guess"
+        )
     records = payload.get("records")
     if not isinstance(records, list):
         raise ValidationError("telemetry document missing 'records' list")

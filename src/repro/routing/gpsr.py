@@ -67,11 +67,16 @@ class RouteResult:
     perimeter_hops:
         How many hops were forwarded in perimeter mode (0 for pure greedy
         delivery — the common case at the paper's density).
+    modes:
+        The forwarding mode of each hop, aligned with
+        ``path[i] -> path[i + 1]`` — the per-hop signal the flight
+        recorder exports (empty for legacy constructions).
     """
 
     path: list[int]
     delivered: bool
     perimeter_hops: int = 0
+    modes: tuple[str, ...] = ()
 
     @property
     def hops(self) -> int:
@@ -101,6 +106,10 @@ class PacketState:
     face_point: Point | None = None  # Lf: where the packet entered this face
     traversed: set[tuple[int, int]] = field(default_factory=set)
     perimeter_hops: int = 0
+    #: Mode of each hop taken so far (appended by ``forward_one`` on a
+    #: "hop" outcome).  Part of the header so a shard worker resuming a
+    #: mid-flight packet extends the same per-hop trace.
+    modes: list[str] = field(default_factory=list)
 
 
 class GPSRRouter:
@@ -135,6 +144,9 @@ class GPSRRouter:
         self.ttl = ttl_factor * topology.size + 16
         self._planar: list[tuple[int, ...]] | None = None
         self._path_cache: dict[tuple[int, int], list[int]] = {}
+        # Per-hop forwarding modes of each cached path, filled alongside
+        # it; consulted by the flight recorder via hop_modes().
+        self._mode_cache: dict[tuple[int, int], tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # Public API                                                         #
@@ -180,6 +192,11 @@ class GPSRRouter:
             for key, path in self._path_cache.items()
             if failed_set.isdisjoint(path)
         }
+        clone._mode_cache = {
+            key: self._mode_cache[key]
+            for key in clone._path_cache
+            if key in self._mode_cache
+        }
         if self._planar is not None:
             clone._planar = update_after_failures(
                 self._planar, clone.topology, failed_set, self.planarization_kind
@@ -204,11 +221,22 @@ class GPSRRouter:
                 f"GPSR could not deliver {src} -> {dst}", result.path
             )
         self._path_cache[key] = result.path
+        self._mode_cache[key] = result.modes
         return result.path
 
     def hops(self, src: int, dst: int) -> int:
         """Hop count of :meth:`path`."""
         return len(self.path(src, dst)) - 1
+
+    def hop_modes(self, src: int, dst: int) -> tuple[str, ...] | None:
+        """Per-hop forwarding modes of the cached ``src -> dst`` path.
+
+        ``None`` when the pair was never routed through :meth:`path`
+        (the flight recorder then records hops with an unknown mode
+        rather than forcing a route).  Aligned with the cached path:
+        entry ``i`` is the mode of the ``path[i] -> path[i + 1]`` hop.
+        """
+        return self._mode_cache.get((src, dst))
 
     def path_to_point(self, src: int, point: tuple[float, float]) -> list[int]:
         """Route toward a geographic location; ends at its closest node.
@@ -265,6 +293,7 @@ class GPSRRouter:
                 return "drop", None
             state.traversed.add(edge)
             state.perimeter_hops += 1
+        state.modes.append(state.mode)
         return "hop", nxt
 
     def prefetch(self, root: int, destinations: Iterable[int]) -> None:
@@ -289,13 +318,18 @@ class GPSRRouter:
         for _ in range(self.ttl):
             if current == dst:
                 return RouteResult(
-                    path, delivered=True, perimeter_hops=state.perimeter_hops
+                    path,
+                    delivered=True,
+                    perimeter_hops=state.perimeter_hops,
+                    modes=tuple(state.modes),
                 )
             outcome, nxt = self.forward_one(current, previous, state)
             if outcome == "stay":
                 continue
             if outcome == "drop":
-                return RouteResult(path, delivered=False)
+                return RouteResult(
+                    path, delivered=False, modes=tuple(state.modes)
+                )
             assert nxt is not None
             previous, current = current, nxt
             path.append(current)

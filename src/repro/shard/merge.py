@@ -108,6 +108,22 @@ def _strip_span(span: dict[str, Any]) -> dict[str, Any]:
     return out
 
 
+def _normalize_flight(block: Mapping[str, Any]) -> dict[str, Any]:
+    """The flight-recorder block with events in canonical (pid, seq) order.
+
+    The recorder already exports in this order (events are appended in
+    main-process program order and sorted on export), so this is an
+    idempotent no-op on well-formed blocks — it exists so the merge
+    *defines* the canonical order rather than trusting the producer.
+    """
+    out = {key: block[key] for key in sorted(block) if key != "events"}
+    out["events"] = sorted(
+        block.get("events", ()),
+        key=lambda event: (event.get("pid", 0), event.get("seq", 0)),
+    )
+    return out
+
+
 def merge_shard_records(
     records: Sequence[Mapping[str, Any]],
 ) -> list[dict[str, Any]]:
@@ -115,9 +131,10 @@ def merge_shard_records(
 
     Drops the per-record ``sharding`` block and every span's ``shard_id``
     attribute — the only fields a ``--shards K`` run adds — leaving
-    exactly the record a ``--shards 1`` run emits.  Records without shard
-    tags pass through unchanged, so merging is idempotent and safe to
-    apply to both sides of a comparison.
+    exactly the record a ``--shards 1`` run emits, and re-sorts any
+    ``flight_recorder`` event ring into canonical ``(pid, seq)`` order.
+    Records without shard tags pass through unchanged, so merging is
+    idempotent and safe to apply to both sides of a comparison.
     """
     merged: list[dict[str, Any]] = []
     for record in records:
@@ -127,6 +144,8 @@ def merge_shard_records(
                 continue
             if key == "spans":
                 out["spans"] = [_strip_span(span) for span in record["spans"]]
+            elif key == "flight_recorder":
+                out["flight_recorder"] = _normalize_flight(record["flight_recorder"])
             else:
                 out[key] = record[key]
         merged.append(out)

@@ -112,6 +112,7 @@ class ShardRouter(GPSRRouter):
         ):
             if done.status == "delivered":
                 self._path_cache[(src, dst)] = done.path
+                self._mode_cache[(src, dst)] = done.modes
             else:
                 self._prefetch_failures[(src, dst)] = done
 
@@ -135,6 +136,11 @@ class ShardRouter(GPSRRouter):
             for key, path in self._path_cache.items()
             if failed_set.isdisjoint(path)
         }
+        clone._mode_cache = {
+            key: self._mode_cache[key]
+            for key in clone._path_cache
+            if key in self._mode_cache
+        }
         return clone
 
     # ------------------------------------------------------------------ #
@@ -144,10 +150,13 @@ class ShardRouter(GPSRRouter):
     def _to_result(self, src: int, dst: int, done: FinishedPacket) -> RouteResult:
         if done.status == "delivered":
             return RouteResult(
-                done.path, delivered=True, perimeter_hops=done.perimeter_hops
+                done.path,
+                delivered=True,
+                perimeter_hops=done.perimeter_hops,
+                modes=done.modes,
             )
         if done.status == "undelivered":
-            return RouteResult(done.path, delivered=False)
+            return RouteResult(done.path, delivered=False, modes=done.modes)
         raise DeliveryError(
             f"TTL ({self.ttl}) exceeded routing {src} -> {dst}", done.path
         )

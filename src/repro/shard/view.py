@@ -62,6 +62,10 @@ class FinishedPacket:
     status: str  # "delivered" | "undelivered" | "ttl"
     path: list[int]
     perimeter_hops: int = 0
+    #: Per-hop forwarding modes (aligned with ``path``), carried across
+    #: the worker boundary so the shard router's mode cache matches the
+    #: monolithic router's byte for byte.
+    modes: tuple[str, ...] = ()
 
 
 class _MemoGPSR(GPSRRouter):
@@ -167,6 +171,7 @@ class ShardWorkerState:
                             "delivered",
                             packet.path,
                             packet.state.perimeter_hops,
+                            tuple(packet.state.modes),
                         )
                     )
                     break
@@ -178,7 +183,13 @@ class ShardWorkerState:
                     continue
                 if outcome == "drop":
                     result.finished.append(
-                        FinishedPacket(packet.pid, "undelivered", packet.path)
+                        FinishedPacket(
+                            packet.pid,
+                            "undelivered",
+                            packet.path,
+                            packet.state.perimeter_hops,
+                            tuple(packet.state.modes),
+                        )
                     )
                     break
                 assert nxt is not None

@@ -12,10 +12,15 @@ Three cooperating pieces, all off by default and free when disabled:
   scope tree, with derived hotspot statistics (max/mean load, Gini
   coefficient, top-k nodes) and per-node residual-energy maps.
 * :mod:`repro.telemetry.export` — deterministic JSONL export under the
-  versioned ``telemetry/1`` schema, merged in fixed cell order by the
-  parallel experiment runner so ``--jobs 1`` and ``--jobs N`` emit
-  byte-identical files (wall-clock excluded, mirroring the result rows'
-  ``include_timings=False``).
+  versioned ``telemetry/2`` schema (``telemetry/1`` plus per-span-kind
+  ``profile`` blocks and the optional ``flight_recorder`` ring), merged
+  in fixed cell order by the parallel experiment runner so ``--jobs 1``
+  and ``--jobs N`` emit byte-identical files (wall-clock excluded,
+  mirroring the result rows' ``include_timings=False``).
+
+The analysis layer over these captures — flamegraph export, capture
+diffing, latency percentiles, per-hop flight-recorder replay — lives in
+:mod:`repro.obs`.
 
 See ``docs/OBSERVABILITY.md`` for the full story.
 """

@@ -1,16 +1,24 @@
-"""Telemetry collection and deterministic JSONL export (``telemetry/1``).
+"""Telemetry collection and deterministic JSONL export (``telemetry/2``).
 
 One record per ``(experiment, size, trial, system)`` cell-slice, holding
-that system's span trees, span summary, metrics-registry snapshot and
-per-node load/energy maps.  The experiment runner collects records inside
-each worker (they are plain dicts, so they pickle alongside the result
-samples) and merges them in fixed cell order — which is what makes a
-``--jobs N`` export byte-identical to ``--jobs 1``.
+that system's span trees, span summary, per-span-kind profile,
+metrics-registry snapshot and per-node load/energy maps — plus, when the
+run used ``--flight-recorder``, the bounded per-hop event ring.  The
+experiment runner collects records inside each worker (they are plain
+dicts, so they pickle alongside the result samples) and merges them in
+fixed cell order — which is what makes a ``--jobs N`` export
+byte-identical to ``--jobs 1``.
 
 File format: JSON Lines.  The first line is a header carrying the schema
-tag (``telemetry/1``) and run parameters; every following line is one
+tag (``telemetry/2``) and run parameters; every following line is one
 record.  All dumps use sorted keys and compact separators so identical
 payloads serialize identically.
+
+Schema history: ``telemetry/2`` adds the ``profile`` block (the
+deterministic span-kind fold :mod:`repro.obs.profile` computes) and the
+optional ``flight_recorder`` block.  :func:`read_telemetry_jsonl` still
+accepts ``telemetry/1`` files — every v1 field kept its meaning — but
+always *writes* the current schema.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from pathlib import Path
 from typing import Any, TYPE_CHECKING
 
 from repro.exceptions import ValidationError
+from repro.obs.profile import profile_span_dicts
 from repro.telemetry.metrics import HotspotStats, MetricsRegistry
 from repro.telemetry.spans import SpanRecorder
 
@@ -28,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "TELEMETRY_SCHEMA",
+    "ACCEPTED_SCHEMAS",
     "collect_system_record",
     "write_telemetry_jsonl",
     "read_telemetry_jsonl",
@@ -35,7 +45,12 @@ __all__ = [
 ]
 
 #: The versioned schema tag carried by every export (header line).
-TELEMETRY_SCHEMA = "telemetry/1"
+TELEMETRY_SCHEMA = "telemetry/2"
+
+#: Schema tags :func:`read_telemetry_jsonl` accepts.  v1 files predate
+#: the ``profile``/``flight_recorder`` blocks but are otherwise
+#: field-compatible, so readers keep working on archived captures.
+ACCEPTED_SCHEMAS = ("telemetry/1", "telemetry/2")
 
 
 def _node_map(mapping: dict[int, int | float], *, digits: int | None = None) -> dict[str, Any]:
@@ -112,6 +127,19 @@ def collect_system_record(
         "spans": recorder.as_dicts() if recorder is not None else [],
         "span_summary": recorder.summary() if recorder is not None else [],
     }
+    if recorder is not None:
+        # The deterministic span-kind fold (telemetry/2): precomputed so
+        # report tooling and the perf tripwire read it without re-walking
+        # trees, and byte-stable because it derives only from the spans.
+        record["profile"] = [
+            entry.as_dict()
+            for entry in profile_span_dicts(record["spans"], default_system=system)
+        ]
+    flight = getattr(network, "flight_recorder", None)
+    if flight is not None:
+        # Only --flight-recorder runs carry the ring, so default captures
+        # stay byte-identical to a build without the recorder.
+        record["flight_recorder"] = flight.as_dict()
     if reliability is not None:
         record["reliability"] = reliability.snapshot()
     router = network.router
@@ -164,16 +192,22 @@ def write_telemetry_jsonl(
 def read_telemetry_jsonl(
     path: str | Path,
 ) -> tuple[dict[str, Any], list[dict[str, Any]]]:
-    """Load ``(header, records)``; rejects unknown schema versions."""
+    """Load ``(header, records)``; rejects unknown schema versions.
+
+    Accepts every tag in :data:`ACCEPTED_SCHEMAS` (currently v1 and v2),
+    so archived ``telemetry/1`` captures stay readable; writers always
+    emit :data:`TELEMETRY_SCHEMA`.
+    """
     text = Path(path).read_text("utf-8")
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines:
         raise ValidationError(f"{path}: empty telemetry file")
     header = json.loads(lines[0])
     schema = header.get("schema") if isinstance(header, dict) else None
-    if schema != TELEMETRY_SCHEMA:
+    if schema not in ACCEPTED_SCHEMAS:
         raise ValidationError(
-            f"expected schema {TELEMETRY_SCHEMA!r}, got {schema!r}; refusing to guess"
+            f"expected schema in {ACCEPTED_SCHEMAS!r}, got {schema!r}; "
+            "refusing to guess"
         )
     records = [validate_record(json.loads(line)) for line in lines[1:]]
     return header, records

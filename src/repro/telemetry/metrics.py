@@ -74,10 +74,25 @@ class HotspotStats:
 
     @classmethod
     def from_load(cls, load: Mapping[int, int | float], *, k: int = 5) -> "HotspotStats":
-        """Derive the hotspot view of a load map (empty map → all zeros)."""
+        """Derive the hotspot view of a load map (empty map → all zeros).
+
+        A non-empty map whose loads are *all* zero is returned as an
+        explicitly even distribution (max/mean/gini of exactly ``0.0``)
+        instead of leaning on float-division conventions downstream; the
+        ``top`` listing still names the first ``k`` nodes (at load 0.0),
+        matching the historical byte layout of exported captures.
+        """
         if not load:
             return cls(nodes=0, max_load=0.0, mean_load=0.0, gini=0.0, top=())
         values = list(load.values())
+        if not any(values):
+            return cls(
+                nodes=len(load),
+                max_load=0.0,
+                mean_load=0.0,
+                gini=0.0,
+                top=tuple((node, 0.0) for node, _count in top_k(load, k)),
+            )
         return cls(
             nodes=len(load),
             max_load=float(max(values)),

@@ -117,6 +117,135 @@ class TestMain:
             perf.main(["--json", str(trend)])
 
 
+def _profile_record(fanout_wu: int) -> dict:
+    total = fanout_wu + 12
+    return {
+        "kind": "system",
+        "experiment": "perf-scale-900",
+        "size": 900,
+        "trial": 0,
+        "system": "pool",
+        "spans": [
+            {
+                "name": "range-query",
+                "phase": "query",
+                "system": "pool",
+                "messages": total,
+                "children": [
+                    {
+                        "name": "fanout",
+                        "phase": "query",
+                        "system": "pool",
+                        "messages": fanout_wu,
+                        "children": [],
+                    }
+                ],
+            }
+        ],
+    }
+
+
+class TestAttribution:
+    def _force_regression(self, trend):
+        payload = json.loads(trend.read_text())
+        for cell in payload["baseline"]["cells"].values():
+            cell["normalized"] = cell["normalized"] / 1000.0 or 1e-9
+            cell["seconds"] = cell["seconds"] / 1000.0 or 1e-9
+        trend.write_text(json.dumps(payload))
+
+    def test_missing_profile_baseline_skips_attribution(
+        self, tiny_grid, tmp_path, capsys
+    ):
+        trend = tmp_path / "BENCH_scale.json"
+        perf.main(["--json", str(trend), "--label", "t0"])
+        self._force_regression(trend)
+        assert perf.main(["--json", str(trend), "--check", "--label", "t1"]) == 1
+        assert "attribution skipped" in capsys.readouterr().err
+
+    def test_forced_regression_names_the_guilty_subtree(
+        self, tiny_grid, tmp_path, capsys, monkeypatch
+    ):
+        """Wall-clock tripwire fires -> obs.diff attribution runs and
+        blames exactly the span kind whose deterministic work doubled."""
+        from repro.telemetry.export import write_telemetry_jsonl
+
+        trend = tmp_path / "BENCH_scale.json"
+        perf.main(["--json", str(trend), "--label", "t0"])
+        self._force_regression(trend)
+        write_telemetry_jsonl(
+            tmp_path / "BENCH_profile.jsonl", [_profile_record(40)], seed=0
+        )
+        monkeypatch.setattr(
+            perf, "capture_profile_records", lambda: [_profile_record(80)]
+        )
+        assert perf.main(["--json", str(trend), "--check", "--label", "t1"]) == 1
+        err = capsys.readouterr().err
+        assert "guiltiest subtree" in err
+        assert "range-query/fanout" in err
+        verdict = json.loads((tmp_path / "perf-attribution.json").read_text())
+        assert verdict["regressions"][0]["path"] == "range-query/fanout"
+        trace = json.loads(
+            (tmp_path / "perf-attribution.trace.json").read_text()
+        )
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+    def test_clean_profile_reports_constant_factor(
+        self, tiny_grid, tmp_path, capsys, monkeypatch
+    ):
+        from repro.telemetry.export import write_telemetry_jsonl
+
+        trend = tmp_path / "BENCH_scale.json"
+        perf.main(["--json", str(trend), "--label", "t0"])
+        self._force_regression(trend)
+        write_telemetry_jsonl(
+            tmp_path / "BENCH_profile.jsonl", [_profile_record(40)], seed=0
+        )
+        monkeypatch.setattr(
+            perf, "capture_profile_records", lambda: [_profile_record(40)]
+        )
+        assert perf.main(["--json", str(trend), "--check", "--label", "t1"]) == 1
+        assert "constant-factor slowdown" in capsys.readouterr().err
+
+    def test_update_profile_baseline_writes_capture(
+        self, tiny_grid, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            perf, "capture_profile_records", lambda: [_profile_record(40)]
+        )
+        trend = tmp_path / "BENCH_scale.json"
+        assert (
+            perf.main(
+                [
+                    "--json",
+                    str(trend),
+                    "--update-profile-baseline",
+                    "--label",
+                    "t0",
+                ]
+            )
+            == 0
+        )
+        from repro.telemetry.export import read_telemetry_jsonl
+
+        header, records = read_telemetry_jsonl(tmp_path / "BENCH_profile.jsonl")
+        assert header["schema"] == "telemetry/2"
+        assert records[0]["experiment"] == "perf-scale-900"
+
+
+def test_committed_profile_baseline_is_valid():
+    """The repo's results/BENCH_profile.jsonl parses and matches the
+    pinned cell's shape (the attribution diff needs aligned records)."""
+    from pathlib import Path
+
+    from repro.telemetry.export import read_telemetry_jsonl
+
+    path = Path(__file__).resolve().parents[2] / "results" / "BENCH_profile.jsonl"
+    header, records = read_telemetry_jsonl(path)
+    assert records, "profile baseline must carry at least one record"
+    assert {r["experiment"] for r in records} == {"perf-scale-900"}
+    assert all(r["spans"] for r in records)
+
+
 def test_committed_trend_file_is_valid():
     """The repo's results/BENCH_scale.json parses and carries the demo."""
     from pathlib import Path

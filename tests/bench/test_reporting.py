@@ -8,12 +8,15 @@ from repro.bench.harness import ExperimentResult, ResultRow
 from repro.bench.reporting import (
     Table,
     _fmt,
+    err_flagged_lines,
     ratio_table,
+    render_err_sidecar,
     render_result,
     render_telemetry,
     result_table,
     telemetry_energy_table,
     telemetry_hotspot_table,
+    telemetry_percentile_table,
     telemetry_span_table,
     to_json,
 )
@@ -161,3 +164,50 @@ class TestTelemetryTables:
         assert "hotspots" in text
         assert "residual energy" in text
         assert "lifecycle spans" in text
+        assert "percentiles" not in text  # opt-in via --percentiles
+
+    def test_render_telemetry_percentiles_opt_in(self):
+        record = dict(
+            _telemetry_record("pool"),
+            spans=[{"name": "query", "phase": "query", "messages": 42}],
+        )
+        text = render_telemetry({"schema": "telemetry/2"}, [record], percentiles=True)
+        assert "query percentiles" in text
+        assert "42.0" in text
+
+
+class TestPercentileTable:
+    def _record(self, wu_list, seconds=None):
+        spans = []
+        for i, wu in enumerate(wu_list):
+            span = {"name": "query", "phase": "query", "messages": wu}
+            if seconds is not None:
+                span["seconds"] = seconds[i]
+            spans.append(span)
+        return dict(_telemetry_record("pool"), spans=spans)
+
+    def test_work_unit_columns_always_present(self):
+        text = telemetry_percentile_table([self._record([10, 20, 30])]).render()
+        assert "wu p50" in text and "20.0" in text
+        # Wall-clock columns render as "-" on deterministic captures.
+        assert "-" in text
+
+    def test_seconds_rendered_when_capture_is_timed(self):
+        text = telemetry_percentile_table(
+            [self._record([10, 20], seconds=[0.5, 1.5])]
+        ).render()
+        assert "1.000000" in text  # seconds p50
+
+
+class TestErrSidecar:
+    def test_flagged_lines_shared_with_renderer(self):
+        text = "starting up\nTraceback (most recent call last):\nnormal line\n"
+        assert err_flagged_lines(text) == ["Traceback (most recent call last):"]
+        rendered = render_err_sidecar("results/x.err", text)
+        assert "1 flagged" in rendered
+        assert "! Traceback" in rendered
+
+    def test_clean_capture_collapses(self):
+        rendered = render_err_sidecar("results/x.err", "all fine\n")
+        assert "no failure signs" in rendered
+        assert "\n" not in rendered

@@ -1,0 +1,131 @@
+"""Flight recorder through the harness: determinism and zero cost.
+
+The acceptance bar from the issue: with the recorder off, captures are
+byte-identical to a build that predates it; with it on, the ring itself
+is byte-identical across ``--jobs`` and across ``--shards`` 1-vs-K after
+``repro.shard.merge`` — and so are the obs artifacts derived from the
+capture (flamegraph, diff verdict).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.cli import main
+from repro.bench.harness import run_experiment
+from repro.bench.workloads import ExperimentConfig
+from repro.events.generators import QueryWorkload
+from repro.obs.diff import diff_records
+from repro.obs.flame import chrome_trace
+from repro.shard.merge import merge_shard_records
+from repro.telemetry.export import write_telemetry_jsonl
+
+
+def _config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        name="fr",
+        title="flight recorder probe",
+        network_sizes=(100,),
+        systems=("pool", "dim"),
+        query_workloads=(
+            QueryWorkload(dimensions=3, kind="exact", range_sizes="exponential"),
+        ),
+        query_count=3,
+        trials=1,
+        flight_recorder=True,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def _strip_flight(records):
+    return [
+        {key: value for key, value in record.items() if key != "flight_recorder"}
+        for record in records
+    ]
+
+
+class TestFlightRecorderHarness:
+    def test_off_by_default_and_absent_from_records(self):
+        result = run_experiment(
+            _config(flight_recorder=False), seed=3, telemetry=True
+        )
+        assert all("flight_recorder" not in r for r in result.telemetry)
+
+    def test_ring_recorded_per_system(self):
+        result = run_experiment(_config(), seed=3, telemetry=True)
+        for record in result.telemetry:
+            ring = record["flight_recorder"]
+            assert ring["packets"] > 0
+            assert ring["events"], record["system"]
+            kinds = {event["kind"] for event in ring["events"]}
+            assert "send" in kinds and "hop" in kinds
+            # Hop events carry the GPSR mode.
+            modes = {
+                event["info"]
+                for event in ring["events"]
+                if event["kind"] == "hop" and "info" in event
+            }
+            assert modes <= {"greedy", "perimeter"}
+
+    def test_zero_cost_when_off(self):
+        """On-capture minus the ring block == off-capture, byte for byte."""
+        on = run_experiment(_config(), seed=3, telemetry=True)
+        off = run_experiment(
+            _config(flight_recorder=False), seed=3, telemetry=True
+        )
+        assert _strip_flight(on.telemetry) == off.telemetry
+
+    def test_jobs_do_not_change_ring_bytes(self, tmp_path):
+        config = _config(trials=2)
+        serial = run_experiment(config, seed=7, jobs=1, telemetry=True)
+        parallel = run_experiment(config, seed=7, jobs=2, telemetry=True)
+        a = write_telemetry_jsonl(tmp_path / "a.jsonl", serial.telemetry)
+        b = write_telemetry_jsonl(tmp_path / "b.jsonl", parallel.telemetry)
+        assert a.read_bytes() == b.read_bytes()
+        # Derived obs artifacts are equally byte-stable.
+        trace_a = json.dumps(chrome_trace(serial.telemetry), sort_keys=True)
+        trace_b = json.dumps(chrome_trace(parallel.telemetry), sort_keys=True)
+        assert trace_a == trace_b
+        assert diff_records(serial.telemetry, parallel.telemetry)["clean"]
+
+    def test_shards_do_not_change_ring_bytes(self, tmp_path):
+        mono = run_experiment(_config(), seed=5, telemetry=True)
+        sharded = run_experiment(
+            _config(shards=4, shard_workers="inline"), seed=5, telemetry=True
+        )
+        a = write_telemetry_jsonl(
+            tmp_path / "s1.jsonl", merge_shard_records(mono.telemetry)
+        )
+        b = write_telemetry_jsonl(
+            tmp_path / "s4.jsonl", merge_shard_records(sharded.telemetry)
+        )
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestFlightRecorderCli:
+    def test_flag_requires_telemetry(self, capsys):
+        assert main(["fig6a", "--flight-recorder"]) == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_capture_and_replay(self, tmp_path, capsys):
+        out = tmp_path / "fr.jsonl"
+        code = main(
+            [
+                "fig7a",
+                "--scale",
+                "0.1",
+                "--trials",
+                "1",
+                "--quiet",
+                "--telemetry",
+                str(out),
+                "--flight-recorder",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.obs.route import main as route_main
+
+        assert route_main([str(out), "0"]) == 0
+        assert "send" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Latency/cost percentile report over root query spans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.percentiles import latency_report, percentile
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_single_value(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_linear_interpolation(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50.0) == 25.0
+        assert percentile(values, 0.0) == 10.0
+        assert percentile(values, 100.0) == 40.0
+
+
+def _record(system, size, wu_samples, seconds=None):
+    spans = []
+    for i, wu in enumerate(wu_samples):
+        span = {"name": "range-query", "phase": "query", "messages": wu}
+        if seconds is not None:
+            span["seconds"] = seconds[i]
+        spans.append(span)
+    # A non-query root must not contribute samples.
+    spans.append({"name": "insert", "phase": "insert", "messages": 999})
+    return {
+        "kind": "system",
+        "experiment": "fig6a",
+        "size": size,
+        "trial": 0,
+        "system": system,
+        "spans": spans,
+    }
+
+
+class TestLatencyReport:
+    def test_groups_by_system_and_size_sorted(self):
+        rows = latency_report(
+            [
+                _record("pool", 900, [10, 20, 30]),
+                _record("dim", 900, [40, 50]),
+                _record("pool", 300, [5]),
+            ]
+        )
+        assert [(r.system, r.size) for r in rows] == [
+            ("dim", 900),
+            ("pool", 300),
+            ("pool", 900),
+        ]
+        pool900 = rows[2]
+        assert pool900.queries == 3
+        assert pool900.wu_p50 == 20.0
+
+    def test_insert_spans_excluded(self):
+        (row,) = latency_report([_record("pool", 900, [10])])
+        assert row.wu_p99 == 10.0  # the 999-message insert span is ignored
+
+    def test_seconds_only_when_every_query_timed(self):
+        (timed,) = latency_report(
+            [_record("pool", 900, [10, 20], seconds=[0.1, 0.3])]
+        )
+        assert timed.seconds_p50 == pytest.approx(0.2)
+        untimed_record = _record("pool", 900, [10, 20], seconds=[0.1, 0.3])
+        del untimed_record["spans"][1]["seconds"]  # one query unmeasured
+        (mixed,) = latency_report([untimed_record])
+        assert mixed.seconds_p50 is None
+
+    def test_as_dict_segregates_wall_clock(self):
+        (row,) = latency_report([_record("pool", 900, [10])])
+        payload = row.as_dict()
+        assert "wu_p50" in payload and "seconds_p50" not in payload

@@ -1,0 +1,81 @@
+"""FlightRecorder unit behaviour: ids, ring eviction, export shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.recorder import DEFAULT_CAPACITY, EVENT_KINDS, FlightRecorder
+
+
+class TestFlightRecorder:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(0)
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(-3)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_open_packet_assigns_sequential_ids_and_send_events(self):
+        recorder = FlightRecorder(16)
+        first = recorder.open_packet("insert", 1, 9)
+        second = recorder.open_packet("query", 2, 8)
+        assert (first, second) == (0, 1)
+        assert recorder.packets == 2
+        events = recorder.as_dict()["events"]
+        assert [e["kind"] for e in events] == ["send", "send"]
+        assert events[0] == {
+            "pid": 0, "seq": 0, "kind": "send", "src": 1, "dst": 9,
+            "info": "insert",
+        }
+
+    def test_record_omits_none_info(self):
+        recorder = FlightRecorder(4)
+        recorder.record(0, "hop", 3, 4)
+        (event,) = recorder.as_dict()["events"]
+        assert "info" not in event
+
+    def test_ring_evicts_oldest_and_counts_dropped(self):
+        recorder = FlightRecorder(3)
+        for i in range(5):
+            recorder.record(0, "hop", i, i + 1)
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        seqs = [e["seq"] for e in recorder.as_dict()["events"]]
+        assert seqs == [2, 3, 4]  # newest retained, oldest evicted
+
+    def test_events_for_filters_one_packet(self):
+        recorder = FlightRecorder(16)
+        a = recorder.open_packet("insert", 0, 5)
+        b = recorder.open_packet("insert", 1, 6)
+        recorder.record(a, "hop", 0, 2, "greedy")
+        recorder.record(b, "hop", 1, 3, "perimeter")
+        recorder.record(a, "hop", 2, 5, "greedy")
+        hops = recorder.events_for(a)
+        assert [e["kind"] for e in hops] == ["send", "hop", "hop"]
+        assert all(e["pid"] == a for e in hops)
+        assert [e["seq"] for e in hops] == sorted(e["seq"] for e in hops)
+
+    def test_as_dict_sorted_by_pid_then_seq(self):
+        recorder = FlightRecorder(16)
+        recorder.record(2, "hop", 0, 1)
+        recorder.record(0, "hop", 1, 2)
+        recorder.record(2, "hop", 2, 3)
+        recorder.record(1, "hop", 3, 4)
+        events = recorder.as_dict()["events"]
+        assert [(e["pid"], e["seq"]) for e in events] == sorted(
+            (e["pid"], e["seq"]) for e in events
+        )
+
+    def test_export_carries_bookkeeping(self):
+        recorder = FlightRecorder(2)
+        recorder.open_packet("query", 0, 1)
+        recorder.record(0, "hop", 0, 1, "greedy")
+        recorder.record(0, "hop", 1, 1, "greedy")
+        payload = recorder.as_dict()
+        assert payload["capacity"] == 2
+        assert payload["packets"] == 1
+        assert payload["dropped"] == 1
+        assert all(e["kind"] in EVENT_KINDS for e in payload["events"])

@@ -55,6 +55,18 @@ class TestHotspotStats:
         assert stats.nodes == 0 and stats.max_load == 0.0
         assert stats.as_dict()["top"] == []
 
+    def test_all_zero_load_is_explicitly_even(self):
+        """Regression: a non-empty all-zero map must yield exact zeros,
+        not float-division conventions, and still name the top nodes so
+        the exported byte layout matches historical captures."""
+        stats = HotspotStats.from_load({3: 0, 1: 0, 2: 0})
+        assert stats.nodes == 3
+        assert stats.max_load == 0.0
+        assert stats.mean_load == 0.0
+        assert stats.gini == 0.0
+        assert stats.top == ((1, 0.0), (2, 0.0), (3, 0.0))
+        assert gini([0, 0, 0]) == 0.0
+
 
 class TestRegistry:
     def test_counter_gauge_histogram_keying(self):

@@ -119,10 +119,13 @@ class TestTelemetryRoundTrip:
 
     def test_schema_carried_and_checked(self):
         payload = telemetry_to_dict([])
-        assert payload["schema"] == "telemetry/1"
+        assert payload["schema"] == "telemetry/2"
         payload["schema"] = "telemetry/99"
         with pytest.raises(ValidationError):
             telemetry_from_dict(payload)
+
+    def test_v1_documents_still_accepted(self):
+        assert telemetry_from_dict({"schema": "telemetry/1", "records": []}) == []
 
     def test_records_must_be_a_list(self):
         with pytest.raises(ValidationError):

@@ -53,6 +53,7 @@ class Config:
         "src/repro/core/",
         "src/repro/routing/",
         "src/repro/network/",
+        "src/repro/obs/",
         "src/repro/shard/",
         "src/repro/telemetry/",
     )

@@ -1,0 +1,27 @@
+"""Bad fixture: wall-clock and unordered iteration in the obs package.
+
+The observability layer folds captures into reports that must be
+byte-stable; a ``time.time()`` stamp or a bare-set walk in an export
+path would leak run-time or hash order into the artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp_profile() -> float:
+    return time.time()  # expect: REP002
+
+
+def export_packet_ids(events: list[dict[str, int]]) -> list[int]:
+    pids = {event["pid"] for event in events}
+    return [pid for pid in pids]  # expect: REP003
+
+
+def merge_rings(rings: dict[int, set[int]]) -> None:
+    seen: set[int] = set()
+    for ring in rings.values():
+        seen |= ring
+    for pid in seen:  # expect: REP003
+        print("replay", pid)

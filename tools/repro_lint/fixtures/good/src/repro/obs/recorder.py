@@ -1,0 +1,29 @@
+"""Good fixture: the obs package's sanctioned timing and ordering idioms.
+
+Elapsed time comes from ``time.perf_counter`` (REP002 allows it
+everywhere); anything derived from a set is sorted before it can reach
+an export.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+def measure(workload: object) -> float:
+    started = perf_counter()
+    if callable(workload):
+        workload()
+    return perf_counter() - started
+
+
+def export_packet_ids(events: list[dict[str, int]]) -> list[int]:
+    pids = {event["pid"] for event in events}
+    return sorted(pids)
+
+
+def merge_rings(rings: dict[int, set[int]]) -> list[int]:
+    seen: set[int] = set()
+    for shard in sorted(rings):
+        seen |= rings[shard]
+    return sorted(seen)

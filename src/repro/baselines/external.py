@@ -9,10 +9,13 @@ the GHT paper that DCS systems are built on.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.dcs import InsertReceipt, QueryResult, resolve_result
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
 from repro.exceptions import DimensionMismatchError, UnreachableError
+from repro.exec import WAREHOUSE_CELL, Execution, QueryPlan, run_staged
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
 
@@ -44,6 +47,10 @@ class ExternalStorage:
             else network.closest_node(network.topology.field.center)
         )
         self._events: list[Event] = []
+        # Called after every delivered event with
+        # (WAREHOUSE_CELL, event, warehouse_node): the warehouse is the
+        # single cell, so every insert invalidates every cached plan.
+        self.insert_listeners: list[Callable[[str, Event, int], None]] = []
 
     # ------------------------------------------------------------------ #
     # DataCentricStore protocol                                          #
@@ -66,26 +73,34 @@ class ExternalStorage:
                 delivered=False,
             )
         self._events.append(event)
+        for listener in self.insert_listeners:
+            listener(WAREHOUSE_CELL, event, self.sink)
         return InsertReceipt(
             home_node=self.sink, hops=len(path) - 1, detail="warehouse"
         )
 
     def query(self, sink: int, query: RangeQuery) -> QueryResult:
-        """Scan the warehouse; only non-warehouse sinks pay transport."""
-        if query.dimensions != self.dimensions:
-            raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
-        tel = self.network.telemetry
-        if tel is None:
-            return self._query_impl(sink, query)
-        with tel.span("query", phase="query", sink=sink) as span:
-            result = self._query_impl(sink, query)
-            span.add_messages(result.total_cost)
-            span.add_nodes(result.visited_nodes)
-            span.attrs["matches"] = result.match_count
-            return result
+        """Scan the warehouse; only non-warehouse sinks pay transport.
 
-    def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
-        events = [event for event in self._events if query.matches(event)]
+        Thin compatibility wrapper over the staged pipeline
+        (:meth:`plan_query` / :meth:`execute_plan` / :meth:`fold_replies`).
+        """
+        return run_staged(self, sink, query)
+
+    def plan_query(self, sink: int, query: RangeQuery) -> QueryPlan:
+        """Every plan points at the single warehouse cell."""
+        return QueryPlan(
+            system="external",
+            sink=sink,
+            query=query,
+            cells=(WAREHOUSE_CELL,),
+            destinations=(self.sink,),
+            share_key=("external", sink, self.sink),
+        )
+
+    def execute_plan(self, plan: QueryPlan) -> Execution:
+        """Query to the warehouse, one aggregated reply back."""
+        sink = plan.sink
         forward_cost = 0
         reply_cost = 0
         warehouse_answered = True
@@ -116,10 +131,25 @@ class ExternalStorage:
                     except UnreachableError as err:
                         reply_cost = max(len(err.partial_path) - 1, 0)
                         warehouse_answered = False
-        return resolve_result(
-            events=events if warehouse_answered else [],
+        return Execution(
             forward_cost=forward_cost,
             reply_cost=reply_cost,
+            answered=frozenset((self.sink,)) if warehouse_answered else frozenset(),
+        )
+
+    def fold_replies(self, plan: QueryPlan, execution: Execution) -> QueryResult:
+        """Scan the warehouse store — only if its reply made it back."""
+        query: RangeQuery = plan.query
+        warehouse_answered = self.sink in execution.answered
+        events = (
+            [event for event in self._events if query.matches(event)]
+            if warehouse_answered
+            else []
+        )
+        return resolve_result(
+            events=events,
+            forward_cost=execution.forward_cost,
+            reply_cost=execution.reply_cost,
             visited_nodes=(self.sink,),
             detail="warehouse",
             attempted_cells=1,
@@ -127,6 +157,14 @@ class ExternalStorage:
             unreachable_cells=() if warehouse_answered else ("warehouse",),
             unreachable_nodes=() if warehouse_answered else (self.sink,),
         )
+
+    def query_span_attrs(self, result: QueryResult) -> dict[str, object]:
+        """External-storage attributes for the query lifecycle span."""
+        return {"matches": result.match_count}
+
+    def close(self) -> None:
+        """Detach external hooks so the deployment can be reused."""
+        self.insert_listeners.clear()
 
     @property
     def stored_events(self) -> int:

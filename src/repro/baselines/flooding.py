@@ -14,10 +14,14 @@ regardless of selectivity.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.dcs import InsertReceipt, QueryResult, resolve_result
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
-from repro.exceptions import DimensionMismatchError, UnreachableError
+from repro.exceptions import DimensionMismatchError
+from repro.exceptions import UnreachableError
+from repro.exec import ALL_CELLS, Execution, QueryPlan, run_staged
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
 
@@ -32,6 +36,10 @@ class LocalStorageFlooding:
         self.dimensions = dimensions
         self._storage: dict[int, list[Event]] = {}
         self._event_count = 0
+        # Called after every stored event with (ALL_CELLS, event, node):
+        # with no index, any node may answer any query, so every insert
+        # invalidates every cached plan.
+        self.insert_listeners: list[Callable[[str, Event, int], None]] = []
 
     # ------------------------------------------------------------------ #
     # DataCentricStore protocol                                          #
@@ -46,23 +54,43 @@ class LocalStorageFlooding:
             src = 0
         self._storage.setdefault(src, []).append(event)
         self._event_count += 1
+        for listener in self.insert_listeners:
+            listener(ALL_CELLS, event, src)
         return InsertReceipt(home_node=src, hops=0, detail="local")
 
     def query(self, sink: int, query: RangeQuery) -> QueryResult:
-        """Flood the query, collect matches from every holding node."""
-        if query.dimensions != self.dimensions:
-            raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
-        tel = self.network.telemetry
-        if tel is None:
-            return self._query_impl(sink, query)
-        with tel.span("query", phase="query", sink=sink) as span:
-            result = self._query_impl(sink, query)
-            span.add_messages(result.total_cost)
-            span.add_nodes(result.visited_nodes)
-            span.attrs["matches"] = result.match_count
-            return result
+        """Flood the query, collect matches from every holding node.
 
-    def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
+        Thin compatibility wrapper over the staged pipeline
+        (:meth:`plan_query` / :meth:`execute_plan` / :meth:`fold_replies`).
+        """
+        return run_staged(self, sink, query)
+
+    def plan_query(self, sink: int, query: RangeQuery) -> QueryPlan:
+        """Flooding has no index: the "plan" is the whole network.
+
+        The share key includes the query itself — the reply legs depend
+        on which nodes hold matches, so only literal repeats of the same
+        query produce interchangeable executions.
+        """
+        return QueryPlan(
+            system="flooding",
+            sink=sink,
+            query=query,
+            cells=(ALL_CELLS,),
+            destinations=(),
+            share_key=("flooding", sink, query),
+        )
+
+    def execute_plan(self, plan: QueryPlan) -> Execution:
+        """Flood, then pay one GPSR reply leg per responding node.
+
+        The responder scan happens here (not at planning) because the
+        reply messages are data-dependent: which nodes unicast back is
+        decided by their stored matches at execution time.
+        """
+        query: RangeQuery = plan.query
+        sink = plan.sink
         # Controlled flood: one broadcast per node reaches everyone.  A
         # broadcast is not acknowledged hop-by-hop, so the flood itself
         # is unaffected by unicast loss; only the GPSR reply legs are.
@@ -89,10 +117,20 @@ class LocalStorageFlooding:
                     continue
                 reply_cost += len(path) - 1
             events.extend(matches)
-        return resolve_result(
-            events=events,
+        return Execution(
             forward_cost=forward_cost,
             reply_cost=reply_cost,
+            answered=frozenset(responders) - frozenset(lost_responders),
+            detail=(tuple(events), tuple(responders), tuple(lost_responders)),
+        )
+
+    def fold_replies(self, plan: QueryPlan, execution: Execution) -> QueryResult:
+        """Assemble the result from the execution's responder scan."""
+        events, responders, lost_responders = execution.detail
+        return resolve_result(
+            events=list(events),
+            forward_cost=execution.forward_cost,
+            reply_cost=execution.reply_cost,
             visited_nodes=tuple(sorted(responders)),
             detail="flood",
             attempted_cells=len(responders),
@@ -100,6 +138,14 @@ class LocalStorageFlooding:
             unreachable_cells=tuple(sorted(lost_responders)),
             unreachable_nodes=tuple(sorted(lost_responders)),
         )
+
+    def query_span_attrs(self, result: QueryResult) -> dict[str, object]:
+        """Flooding attributes for the query lifecycle span."""
+        return {"matches": result.match_count}
+
+    def close(self) -> None:
+        """Detach external hooks so the deployment can be reused."""
+        self.insert_listeners.clear()
 
     @property
     def stored_events(self) -> int:

@@ -36,13 +36,15 @@ from repro.bench.reporting import (
     result_from_export,
     to_json,
 )
-from repro.exceptions import ValidationError
+from repro.bench.serve_bench import SERVE_SYSTEMS, run_serve
+from repro.exceptions import ConfigurationError, ValidationError
 from repro.network.reliability import FaultPlan
+from repro.serve import ARRIVAL_PATTERNS, render_serve_table
 from repro.telemetry.export import read_telemetry_jsonl, write_telemetry_jsonl
 
 __all__ = ["main", "build_parser"]
 
-_SPECIAL = ("abl-hotspot", "abl-routing")
+_SPECIAL = ("abl-hotspot", "abl-routing", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +172,74 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
+    serve = parser.add_argument_group(
+        "serve options (the 'serve' experiment: online serving layer "
+        "with plan caching and batch coalescing)"
+    )
+    serve.add_argument(
+        "--size",
+        type=int,
+        default=150,
+        help="network size for the serve deployment",
+    )
+    serve.add_argument(
+        "--systems",
+        metavar="A,B,...",
+        default=",".join(SERVE_SYSTEMS),
+        help="comma-separated systems to serve against",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        help="schedule length in simulated seconds",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=2.0,
+        help="mean request arrival rate (requests per simulated second)",
+    )
+    serve.add_argument(
+        "--pattern",
+        choices=ARRIVAL_PATTERNS,
+        default="poisson",
+        help="arrival process for the scheduled workload",
+    )
+    serve.add_argument(
+        "--repeat-fraction",
+        type=float,
+        default=0.75,
+        help="probability a request re-asks a hot-pool query",
+    )
+    serve.add_argument(
+        "--unique-queries",
+        type=int,
+        default=8,
+        help="size of the hot query pool",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.2,
+        help=(
+            "admission window in simulated seconds for the cached "
+            "configuration (requests inside one window may coalesce)"
+        ),
+    )
+    serve.add_argument(
+        "--slo",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="latency SLO target the report scores attainment against",
+    )
+    serve.add_argument(
+        "--slo-report",
+        metavar="PATH",
+        default=None,
+        help="write the serve run's deterministic SLO report as JSON",
+    )
     return parser
 
 
@@ -256,6 +326,45 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "abl-routing":
         print(run_routing_ablation(seed=args.seed).render())
+        return 0
+
+    if args.experiment == "serve":
+        try:
+            outcome = run_serve(
+                seed=args.seed,
+                size=args.size,
+                systems=tuple(
+                    name for name in args.systems.split(",") if name
+                ),
+                duration=args.duration,
+                rate=args.rate,
+                pattern=args.pattern,
+                repeat_fraction=args.repeat_fraction,
+                unique_queries=args.unique_queries,
+                batch_window=args.batch_window,
+                slo_target_s=args.slo,
+                telemetry=args.telemetry is not None,
+                progress=None if args.quiet else _progress,
+            )
+        except (ConfigurationError, ValidationError, ValueError) as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"serve: {outcome.requests} requests over "
+            f"{outcome.duration:.0f}s simulated ({outcome.pattern}), "
+            f"n={outcome.size}, seed={outcome.seed}\n"
+        )
+        print(render_serve_table([(row.cached, row.control) for row in outcome.rows]))
+        if args.slo_report:
+            with open(args.slo_report, "w", encoding="utf-8") as handle:
+                json.dump(outcome.as_dict(), handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"SLO report written to {args.slo_report}", file=sys.stderr)
+        if args.telemetry:
+            write_telemetry_jsonl(
+                args.telemetry, outcome.telemetry, seed=args.seed, mode="serve"
+            )
+            print(f"telemetry written to {args.telemetry}", file=sys.stderr)
         return 0
 
     if args.experiment == "all":

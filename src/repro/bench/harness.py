@@ -448,6 +448,12 @@ def _run_cell_systems(
                     recorder=recorder,
                 )
             )
+        # Teardown: detach insert listeners (continuous-query services,
+        # serve caches) so they cannot leak across trials when the
+        # deployment is reused.
+        closer = getattr(system, "close", None)
+        if closer is not None:
+            closer()
     return samples, records
 
 

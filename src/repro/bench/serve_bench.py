@@ -1,0 +1,287 @@
+"""``pool-bench serve`` — the online serving-layer benchmark.
+
+For each system under test, one shared deployment hosts two service
+configurations over independent scoped ledgers:
+
+* **cached** — plan/result cache attached, batch coalescing enabled;
+* **control** — no cache, no coalescing; every request plans and
+  executes in full.
+
+Both replay the *same* deterministic schedule against identically loaded
+stores, so the messages-saved column is a measured ledger difference, not
+an estimate.  Everything derives from the seed; two runs of the same
+parameters produce byte-identical reports and telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.bench.harness import build_system
+from repro.bench.workloads import ExperimentConfig
+from repro.events.generators import EventWorkload, QueryWorkload
+from repro.network.deployment import Deployment
+from repro.network.network import Network
+from repro.rng import derive
+from repro.serve import (
+    PlanResultCache,
+    QueryService,
+    ServeReport,
+    build_schedule,
+)
+from repro.telemetry.export import collect_system_record
+from repro.telemetry.spans import SpanRecorder
+
+__all__ = ["ServeRunRow", "ServeRunResult", "run_serve", "SERVE_SYSTEMS"]
+
+#: Range-query systems the serving layer fronts (GHT is a key/value
+#: store — no range plans to cache).
+SERVE_SYSTEMS: tuple[str, ...] = ("pool", "dim", "difs", "flooding", "external")
+
+ProgressFn = Callable[[str], None]
+
+
+def _serve_sinks(topology: Any, count: int) -> tuple[int, ...]:
+    """``count`` geographically spread request sinks (deduped, in order).
+
+    The base-station sink (field center) comes first, then the four
+    quadrant centers — pure geometry, so the sink set is a deterministic
+    function of the topology alone.  Spreading requests over several
+    sinks matters for the external baseline in particular: from the
+    warehouse node itself a query is free, which would make the control
+    run trivially unbeatable.
+    """
+    field = topology.field
+    xs = (field.x_min + field.width * 0.25, field.x_min + field.width * 0.75)
+    ys = (field.y_min + field.height * 0.25, field.y_min + field.height * 0.75)
+    candidates = [
+        tuple(field.center),
+        (xs[0], ys[0]),
+        (xs[1], ys[1]),
+        (xs[0], ys[1]),
+        (xs[1], ys[0]),
+    ]
+    sinks: list[int] = []
+    for point in candidates:
+        node = topology.closest_node(point)
+        if node not in sinks:
+            sinks.append(node)
+        if len(sinks) == count:
+            break
+    return tuple(sinks)
+
+
+@dataclass(slots=True)
+class ServeRunRow:
+    """One system's cached run beside its uncached control run."""
+
+    system: str
+    cached: ServeReport
+    control: ServeReport
+
+    @property
+    def messages_saved(self) -> int:
+        """Measured ledger difference: control minus cached."""
+        return self.control.messages_total - self.cached.messages_total
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "system": self.system,
+            "messages_saved": self.messages_saved,
+            "cached": self.cached.as_dict(),
+            "control": self.control.as_dict(include_requests=False),
+        }
+
+
+@dataclass(slots=True)
+class ServeRunResult:
+    """Everything one ``pool-bench serve`` invocation produced."""
+
+    seed: int
+    size: int
+    requests: int
+    duration: float
+    pattern: str
+    rows: list[ServeRunRow] = field(default_factory=list)
+    telemetry: list[dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The SLO report artifact (deterministic; diffable in CI)."""
+        return {
+            "schema": "serve-run/1",
+            "seed": self.seed,
+            "size": self.size,
+            "requests": self.requests,
+            "duration_s": round(self.duration, 6),
+            "pattern": self.pattern,
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+
+def run_serve(
+    *,
+    seed: int = 0,
+    size: int = 150,
+    dimensions: int = 3,
+    events_per_node: int = 2,
+    systems: Sequence[str] = SERVE_SYSTEMS,
+    duration: float = 60.0,
+    rate: float = 2.0,
+    pattern: str = "poisson",
+    repeat_fraction: float = 0.75,
+    unique_queries: int = 8,
+    burst_size: int = 4,
+    num_sinks: int = 3,
+    batch_window: float = 0.2,
+    hop_latency: float = 0.01,
+    slo_target_s: float = 0.5,
+    telemetry: bool = False,
+    progress: ProgressFn | None = None,
+) -> ServeRunResult:
+    """Run the serving-layer benchmark; see the module docstring.
+
+    The deployment, event load and schedule are shared across all
+    systems and both configurations — only the serving policy differs.
+    """
+    config = ExperimentConfig(
+        name="serve",
+        title="online serving layer",
+        network_sizes=(size,),
+        dimensions=dimensions,
+        events_per_node=events_per_node,
+        event_workload=EventWorkload(dimensions=dimensions),
+        query_workloads=(
+            QueryWorkload(dimensions=dimensions, kind="exact", range_sizes="uniform"),
+        ),
+        query_count=1,
+        trials=1,
+        systems=tuple(systems),
+    )
+    deployment = Deployment.deploy(
+        size,
+        radio_range=config.radio_range,
+        target_degree=config.target_degree,
+        seed=derive(seed, "topology", size, 0),
+    )
+    try:
+        return _run_serve_systems(
+            config,
+            deployment,
+            seed=seed,
+            duration=duration,
+            rate=rate,
+            pattern=pattern,
+            repeat_fraction=repeat_fraction,
+            unique_queries=unique_queries,
+            burst_size=burst_size,
+            num_sinks=num_sinks,
+            batch_window=batch_window,
+            hop_latency=hop_latency,
+            slo_target_s=slo_target_s,
+            telemetry=telemetry,
+            progress=progress,
+        )
+    finally:
+        closer = getattr(deployment, "close", None)
+        if closer is not None:
+            closer()
+
+
+def _run_serve_systems(
+    config: ExperimentConfig,
+    deployment: Deployment,
+    *,
+    seed: int,
+    duration: float,
+    rate: float,
+    pattern: str,
+    repeat_fraction: float,
+    unique_queries: int,
+    burst_size: int,
+    num_sinks: int,
+    batch_window: float,
+    hop_latency: float,
+    slo_target_s: float,
+    telemetry: bool,
+    progress: ProgressFn | None,
+) -> ServeRunResult:
+    size = config.network_sizes[0]
+    root = Network(deployment=deployment)
+    sinks = _serve_sinks(deployment.topology, num_sinks)
+    events = config.event_workload.generate(
+        config.events_per_node * size,
+        seed=derive(seed, "events", size, 0),
+        sources=list(deployment.topology),
+    )
+    schedule = build_schedule(
+        workload=config.query_workloads[0],
+        sinks=sinks,
+        duration=duration,
+        rate=rate,
+        seed=derive(seed, "serve-schedule", size),
+        pattern=pattern,
+        repeat_fraction=repeat_fraction,
+        unique_queries=unique_queries,
+        burst_size=burst_size,
+    )
+    result = ServeRunResult(
+        seed=seed,
+        size=size,
+        requests=len(schedule),
+        duration=duration,
+        pattern=pattern,
+    )
+    for system_name in config.systems:
+        reports: dict[str, ServeReport] = {}
+        for mode in ("cached", "control"):
+            if progress is not None:
+                progress(
+                    f"[serve] n={size} system={system_name} mode={mode} "
+                    f"requests={len(schedule)}"
+                )
+            facade = root.scope(f"{system_name}:{mode}")
+            recorder: SpanRecorder | None = None
+            if telemetry:
+                recorder = SpanRecorder(label=f"{system_name}:{mode}")
+                # Set before the system scopes its own ledger off the
+                # facade so the recorder propagates to scopes below.
+                facade.telemetry = recorder
+            system = build_system(system_name, facade, config, seed)
+            for event in events:
+                system.insert(event)
+            service = QueryService(
+                system,
+                name=system_name,
+                cache=PlanResultCache() if mode == "cached" else None,
+                batch_window=batch_window if mode == "cached" else 0.0,
+                hop_latency=hop_latency,
+                slo_target_s=slo_target_s,
+            )
+            try:
+                reports[mode] = service.run(schedule)
+            finally:
+                service.close()
+                closer = getattr(system, "close", None)
+                if closer is not None:
+                    closer()
+            if telemetry:
+                result.telemetry.append(
+                    collect_system_record(
+                        experiment="serve",
+                        size=size,
+                        trial=0,
+                        system=f"{system_name}:{mode}",
+                        network=facade,
+                        store=system,
+                        recorder=recorder,
+                    )
+                )
+        result.rows.append(
+            ServeRunRow(
+                system=system_name,
+                cached=reports["cached"],
+                control=reports["control"],
+            )
+        )
+    return result

@@ -73,7 +73,26 @@ class ContinuousQueryService:
         self._subscriptions: dict[int, Subscription] = {}
         # cell -> subscription ids anchored there.
         self._by_cell: dict[tuple[int, int, int], set[int]] = {}
+        self._closed = False
         system.insert_listeners.append(self._on_insert)
+
+    def close(self) -> None:
+        """Detach the insert hook from the system.  Idempotent.
+
+        Without this, every service constructed over a system left its
+        ``_on_insert`` registered forever — on a reused deployment the
+        dead services kept matching (and charging NOTIFY messages for)
+        later trials' inserts.  Call it when the service is done; the
+        system's own ``close()`` also severs the hook from its side.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.system.insert_listeners.remove(self._on_insert)
+        except ValueError:
+            # The system already tore its listener list down.
+            pass
 
     # ------------------------------------------------------------------ #
     # Registration                                                       #

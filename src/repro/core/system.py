@@ -34,6 +34,7 @@ from repro.exceptions import (
     DimensionMismatchError,
     UnreachableError,
 )
+from repro.exec import Execution, QueryPlan, run_staged
 from repro.geometry import distance_sq
 from repro.ght.ght import GeographicHashTable
 from repro.network.messages import MessageCategory
@@ -43,7 +44,13 @@ from repro.rng import SeedLike, derive
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.spans import SpanRecorder
 
-__all__ = ["PoolSystem", "PoolPlan", "PoolQueryDetail"]
+__all__ = [
+    "PoolSystem",
+    "PoolPlan",
+    "PoolQueryDetail",
+    "PoolLegPlan",
+    "PoolLegExecution",
+]
 
 
 @dataclass(slots=True)
@@ -77,6 +84,44 @@ class PoolQueryDetail:
     @property
     def cells_visited(self) -> int:
         return sum(len(plan.cells) for plan in self.plans)
+
+
+@dataclass(frozen=True, slots=True)
+class PoolLegPlan:
+    """One Pool's slice of a resolved :class:`~repro.exec.QueryPlan`.
+
+    Pure Theorem 3.2 / Algorithm 2 output: the relevant cells, the
+    vertical range the holders must overlap, and the physical
+    destinations (insertion-ordered, deduplicated) the splitter tree
+    must reach.  Carries no message accounting — that lives in the
+    matching :class:`PoolLegExecution`.
+    """
+
+    pool: int
+    splitter: int
+    offsets: tuple[tuple[int, int], ...]
+    cells: tuple[Cell, ...]
+    vertical: tuple[float, float]
+    destinations: tuple[int, ...]
+    #: Per relevant cell: the holder nodes whose replies must all reach
+    #: the sink for the cell to count as answered (the elected index node
+    #: for cells with no store yet).
+    cell_holders: tuple[tuple[Cell, frozenset[int]], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PoolLegExecution:
+    """Transport outcome of forwarding one Pool leg (Section 3.2.3)."""
+
+    pool: int
+    sink_to_splitter_hops: int
+    tree_edges: int
+    depth_hops: int
+    answered: frozenset[int]
+
+    @property
+    def forward_cost(self) -> int:
+        return self.sink_to_splitter_hops + self.tree_edges
 
 
 class PoolSystem:
@@ -542,35 +587,22 @@ class PoolSystem:
         query to the Pool's splitter, the splitter fans out to every
         relevant cell's holder along a merged GPSR tree, and the replies
         aggregate back over the same edges (Section 3.2.3).
-        """
-        if query.dimensions != self.dimensions:
-            raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
-        tel = self.network.telemetry
-        if tel is None:
-            return self._query_impl(sink, query, None)
-        with tel.span("query", phase="query", sink=sink) as span:
-            result = self._query_impl(sink, query, tel)
-            span.add_messages(result.total_cost)
-            span.add_nodes(result.visited_nodes)
-            span.attrs["pools_visited"] = result.detail.pools_visited
-            span.attrs["matches"] = result.match_count
-            if self.network.reliability is not None:
-                span.attrs["completeness"] = round(result.completeness, 6)
-            return result
 
-    def _query_impl(
-        self, sink: int, query: RangeQuery, tel: "SpanRecorder | None"
-    ) -> QueryResult:
-        """The resolve/forward/collect loop; ``tel`` threads span recording."""
-        detail = PoolQueryDetail()
-        events: list[Event] = []
-        forward_cost = 0
-        reply_cost = 0
-        visited: list[int] = []
-        attempted_cells = 0
-        answered_cells = 0
-        unreachable_cells: list[Cell] = []
-        unreachable_nodes: dict[int, None] = {}
+        Thin compatibility wrapper over the staged pipeline
+        (:meth:`plan_query` / :meth:`execute_plan` / :meth:`fold_replies`).
+        """
+        return run_staged(self, sink, query)
+
+    def plan_query(self, sink: int, query: RangeQuery) -> QueryPlan:
+        """Pure resolving (Theorem 3.2 / Algorithm 2): zero messages.
+
+        Per Pool with at least one relevant cell, derives the horizontal/
+        vertical ranges, lists the relevant cells, and names the physical
+        holders (ordered-deduplicated) the splitter tree must reach —
+        everything the sink computes locally before any radio traffic.
+        """
+        tel = self.network.telemetry
+        legs: list[PoolLegPlan] = []
         for pool in self.pools:
             offsets = relevant_offsets(
                 query, pool.index, self.side_length, recorder=tel
@@ -580,9 +612,6 @@ class PoolSystem:
             derived = query_ranges_for_pool(query, pool.index)
             cells: list[Cell] = []
             destinations: dict[int, None] = {}
-            # Matches staged with their holder so a holder whose reply
-            # never reached the sink contributes nothing to the result.
-            staged: list[tuple[int, Event]] = []
             cell_holders: list[tuple[Cell, frozenset[int]]] = []
             for ho, vo in offsets:
                 cell = pool.cell_at(ho, vo)
@@ -597,42 +626,152 @@ class PoolSystem:
                 for segment in store.segments_overlapping(derived.vertical):
                     destinations[segment.node] = None
                     holders.add(segment.node)
-                    for event, key in zip(segment.events, segment.keys):
-                        if query.matches(event):
-                            staged.append((segment.node, event))
                 cell_holders.append((cell, frozenset(holders)))
-            dest_nodes = list(destinations)
-            plan, answered = self._forward(sink, pool.index, cells, dest_nodes)
-            detail.plans.append(plan)
-            forward_cost += plan.forward_cost
-            reply_cost += plan.forward_cost  # aggregated replies retrace it
-            visited.extend(dest_nodes)
-            attempted_cells += len(cell_holders)
-            for cell, cell_nodes in cell_holders:
-                if cell_nodes <= answered:
+            legs.append(
+                PoolLegPlan(
+                    pool=pool.index,
+                    splitter=(
+                        self.splitter(sink, pool.index)
+                        if self.route_via_splitter
+                        else sink
+                    ),
+                    offsets=tuple(offsets),
+                    cells=tuple(cells),
+                    vertical=derived.vertical,
+                    destinations=tuple(destinations),
+                    cell_holders=tuple(cell_holders),
+                )
+            )
+        leg_plans = tuple(legs)
+        return QueryPlan(
+            system="pool",
+            sink=sink,
+            query=query,
+            cells=tuple(
+                (leg.pool, ho, vo) for leg in leg_plans for ho, vo in leg.offsets
+            ),
+            destinations=tuple(
+                dict.fromkeys(
+                    node for leg in leg_plans for node in leg.destinations
+                )
+            ),
+            share_key=(
+                "pool",
+                sink,
+                self.route_via_splitter,
+                tuple(
+                    (leg.pool, leg.splitter, leg.destinations)
+                    for leg in leg_plans
+                ),
+            ),
+            detail=leg_plans,
+        )
+
+    def execute_plan(self, plan: QueryPlan) -> Execution:
+        """Charge the plan's splitter trees; report which holders answered.
+
+        Aggregated replies retrace the forwarding tree, so the reply cost
+        mirrors the forward cost leg for leg.
+        """
+        leg_plans: tuple[PoolLegPlan, ...] = plan.detail
+        leg_execs: list[PoolLegExecution] = []
+        forward_cost = 0
+        reply_cost = 0
+        for leg in leg_plans:
+            leg_exec = self._forward(plan.sink, leg)
+            leg_execs.append(leg_exec)
+            forward_cost += leg_exec.forward_cost
+            reply_cost += leg_exec.forward_cost
+        return Execution(
+            forward_cost=forward_cost,
+            reply_cost=reply_cost,
+            # Pools are queried in parallel: latency is the worst pool.
+            depth_hops=max((ex.depth_hops for ex in leg_execs), default=0),
+            answered=frozenset(
+                node for ex in leg_execs for node in ex.answered
+            ),
+            detail=tuple(leg_execs),
+        )
+
+    def fold_replies(self, plan: QueryPlan, execution: Execution) -> QueryResult:
+        """Aggregate answered holders' matches into the query result.
+
+        Matches are read here — not at planning time — so a cached plan
+        folds against current cell contents, and queries coalesced onto a
+        shared execution each fold their own cell set.  A holder whose
+        reply never reached the sink contributes nothing.
+        """
+        query: RangeQuery = plan.query
+        detail = PoolQueryDetail()
+        events: list[Event] = []
+        visited: list[int] = []
+        attempted_cells = 0
+        answered_cells = 0
+        unreachable_cells: list[Cell] = []
+        unreachable_nodes: dict[int, None] = {}
+        leg_plans: tuple[PoolLegPlan, ...] = plan.detail
+        for leg, leg_exec in zip(leg_plans, execution.detail):
+            detail.plans.append(
+                PoolPlan(
+                    pool=leg.pool,
+                    splitter=leg.splitter,
+                    cells=leg.cells,
+                    index_nodes=leg.destinations,
+                    sink_to_splitter_hops=leg_exec.sink_to_splitter_hops,
+                    tree_edges=leg_exec.tree_edges,
+                    depth_hops=leg_exec.depth_hops,
+                )
+            )
+            visited.extend(leg.destinations)
+            attempted_cells += len(leg.cell_holders)
+            for cell, cell_nodes in leg.cell_holders:
+                if cell_nodes <= leg_exec.answered:
                     answered_cells += 1
                 else:
                     unreachable_cells.append(cell)
-                    for node in sorted(cell_nodes - answered):
+                    for node in sorted(cell_nodes - leg_exec.answered):
                         unreachable_nodes[node] = None
-            events.extend(
-                event for holder, event in staged if holder in answered
-            )
+            for ho, vo in leg.offsets:
+                store = self._stores.get((leg.pool, ho, vo))
+                if store is None:
+                    continue
+                for segment in store.segments_overlapping(leg.vertical):
+                    if segment.node not in leg_exec.answered:
+                        continue
+                    for event in segment.events:
+                        if query.matches(event):
+                            events.append(event)
         return resolve_result(
             events=events,
-            forward_cost=forward_cost,
-            reply_cost=reply_cost,
+            forward_cost=execution.forward_cost,
+            reply_cost=execution.reply_cost,
             visited_nodes=tuple(visited),
             detail=detail,
-            # Pools are queried in parallel: latency is the worst pool.
-            depth_hops=max(
-                (plan.depth_hops for plan in detail.plans), default=0
-            ),
+            depth_hops=execution.depth_hops,
             attempted_cells=attempted_cells,
             answered_cells=answered_cells,
             unreachable_cells=tuple(unreachable_cells),
             unreachable_nodes=tuple(unreachable_nodes),
         )
+
+    def query_span_attrs(self, result: QueryResult) -> dict[str, object]:
+        """Pool attributes for the query lifecycle span."""
+        attrs: dict[str, object] = {
+            "pools_visited": result.detail.pools_visited,
+            "matches": result.match_count,
+        }
+        if self.network.reliability is not None:
+            attrs["completeness"] = round(result.completeness, 6)
+        return attrs
+
+    def close(self) -> None:
+        """Detach external hooks so the deployment can be reused.
+
+        Insert listeners reference whatever registered them (continuous-
+        query services, serve-layer caches); clearing them on teardown
+        keeps a reused :class:`Deployment` from notifying dead consumers.
+        """
+        self.insert_listeners.clear()
 
     def explain(self, sink: int, query: RangeQuery) -> str:
         """A human-readable query plan — computed locally, zero messages.
@@ -710,42 +849,38 @@ class PoolSystem:
             detail=result.detail,
         )
 
-    def _forward(
-        self, sink: int, pool: int, cells: list[Cell], destinations: list[int]
-    ) -> tuple[PoolPlan, frozenset[int]]:
+    def _forward(self, sink: int, leg: PoolLegPlan) -> PoolLegExecution:
         """Charge the forwarding (and implicitly reply) messages for a Pool.
 
-        Returns the plan plus the set of tree nodes whose aggregated
-        reply actually reached the sink.  On a lossless facade that is
-        every destination; under a reliability layer an unreachable
-        splitter (or a lost splitter→sink reply) empties the set and the
-        caller degrades the whole Pool to unanswered.
+        Returns the leg's transport outcome: hop counts plus the set of
+        tree nodes whose aggregated reply actually reached the sink.  On
+        a lossless facade that is every destination; under a reliability
+        layer an unreachable splitter (or a lost splitter→sink reply)
+        empties the set and the fold degrades the whole Pool to
+        unanswered.
         """
         tel = self.network.telemetry
         if tel is not None:
-            return self._forward_instrumented(sink, pool, cells, destinations, tel)
+            return self._forward_instrumented(sink, leg, tel)
+        destinations = list(leg.destinations)
         if self.route_via_splitter:
-            splitter = self.splitter(sink, pool)
+            splitter = leg.splitter
             try:
                 path = self.network.unicast(
                     MessageCategory.QUERY_FORWARD, sink, splitter
                 )
             except UnreachableError as err:
                 hops = max(len(err.partial_path) - 1, 0)
-                plan = PoolPlan(
-                    pool=pool,
-                    splitter=splitter,
-                    cells=tuple(cells),
-                    index_nodes=tuple(destinations),
+                return PoolLegExecution(
+                    pool=leg.pool,
                     sink_to_splitter_hops=hops,
                     tree_edges=0,
                     depth_hops=hops,
+                    answered=frozenset(),
                 )
-                return plan, frozenset()
             sink_hops = len(path) - 1
             root = splitter
         else:
-            splitter = sink
             sink_hops = 0
             root = sink
             path = [sink]
@@ -765,24 +900,17 @@ class PoolSystem:
                 )
             except UnreachableError:
                 answered = frozenset()
-        return PoolPlan(
-            pool=pool,
-            splitter=splitter,
-            cells=tuple(cells),
-            index_nodes=tuple(destinations),
+        return PoolLegExecution(
+            pool=leg.pool,
             sink_to_splitter_hops=sink_hops,
             tree_edges=delivery.attempted_edges,
             depth_hops=sink_hops + delivery.tree.height(),
-        ), answered
+            answered=answered,
+        )
 
     def _forward_instrumented(
-        self,
-        sink: int,
-        pool: int,
-        cells: list[Cell],
-        destinations: list[int],
-        tel: "SpanRecorder",
-    ) -> tuple[PoolPlan, frozenset[int]]:
+        self, sink: int, leg_plan: PoolLegPlan, tel: "SpanRecorder"
+    ) -> PoolLegExecution:
         """The `_forward` path with the Section 3.2.3 lifecycle spanned.
 
         Span tree per Pool: ``pool-fanout`` wrapping ``sink-to-splitter``
@@ -794,9 +922,11 @@ class PoolSystem:
         ``answered`` attribute.
         """
         rel = self.network.reliability
+        pool = leg_plan.pool
+        destinations = list(leg_plan.destinations)
         with tel.span("pool-fanout", phase="forward", pool=pool) as pool_span:
             if self.route_via_splitter:
-                splitter = self.splitter(sink, pool)
+                splitter = leg_plan.splitter
                 with tel.span("sink-to-splitter", phase="forward", pool=pool) as leg:
                     try:
                         path = self.network.unicast(
@@ -812,22 +942,18 @@ class PoolSystem:
                             pool=pool,
                             unreachable=splitter,
                         )
-                        plan = PoolPlan(
+                        return PoolLegExecution(
                             pool=pool,
-                            splitter=splitter,
-                            cells=tuple(cells),
-                            index_nodes=tuple(destinations),
                             sink_to_splitter_hops=hops,
                             tree_edges=0,
                             depth_hops=hops,
+                            answered=frozenset(),
                         )
-                        return plan, frozenset()
                     leg.add_messages(len(path) - 1)
                     leg.add_nodes(path)
                 sink_hops = len(path) - 1
                 root = splitter
             else:
-                splitter = sink
                 sink_hops = 0
                 root = sink
                 path = [sink]
@@ -856,15 +982,13 @@ class PoolSystem:
                     reply.attrs["answered"] = len(answered)
             pool_span.add_messages(2 * (sink_hops + delivery.attempted_edges))
             pool_span.add_nodes(destinations)
-        return PoolPlan(
+        return PoolLegExecution(
             pool=pool,
-            splitter=splitter,
-            cells=tuple(cells),
-            index_nodes=tuple(destinations),
             sink_to_splitter_hops=sink_hops,
             tree_edges=delivery.attempted_edges,
             depth_hops=sink_hops + tree.height(),
-        ), answered
+            answered=answered,
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection                                                      #

@@ -27,6 +27,7 @@ the weakness (Section 1 of the Pool paper) that motivated DIM and Pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.dcs import InsertReceipt, QueryResult, resolve_result
 from repro.events.event import Event
@@ -36,6 +37,7 @@ from repro.exceptions import (
     DimensionMismatchError,
     UnreachableError,
 )
+from repro.exec import Execution, QueryPlan, run_staged
 from repro.ght.ght import GeographicHashTable
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
@@ -115,6 +117,13 @@ class DifsIndex:
         self._ght = GeographicHashTable(self.network, salt="difs")
         self._storage: dict[tuple[float, float], list[Event]] = {}
         self._event_count = 0
+        # Called after every stored event with ((lo, hi), event, leaf_node)
+        # — leaf ranges are the native cell identity DIFS plans resolve
+        # to, so the serve-layer cache invalidates on exactly the leaves
+        # a cached plan covers.
+        self.insert_listeners: list[
+            Callable[[tuple[float, float], Event, int], None]
+        ] = []
 
     # ------------------------------------------------------------------ #
     # Tree geometry                                                      #
@@ -232,6 +241,8 @@ class DifsIndex:
             previous = ancestor_node
         self._storage.setdefault((leaf.lo, leaf.hi), []).append(event)
         self._event_count += 1
+        for listener in self.insert_listeners:
+            listener((leaf.lo, leaf.hi), event, leaf_node)
         return InsertReceipt(
             home_node=leaf_node, hops=hops, detail=(leaf.lo, leaf.hi)
         )
@@ -243,21 +254,14 @@ class DifsIndex:
         filtered after retrieval (counted in ``detail.post_filtered``) —
         the single-attribute limitation the Pool paper holds against
         DIFS-generation systems.
-        """
-        if query.dimensions != self.dimensions:
-            raise DimensionMismatchError(self.dimensions, query.dimensions, "query")
-        tel = self.network.telemetry
-        if tel is None:
-            return self._query_impl(sink, query)
-        with tel.span("query", phase="query", sink=sink) as span:
-            result = self._query_impl(sink, query)
-            span.add_messages(result.total_cost)
-            span.add_nodes(result.visited_nodes)
-            span.attrs["post_filtered"] = result.detail.post_filtered
-            span.attrs["matches"] = result.match_count
-            return result
 
-    def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
+        Thin compatibility wrapper over the staged pipeline
+        (:meth:`plan_query` / :meth:`execute_plan` / :meth:`fold_replies`).
+        """
+        return run_staged(self, sink, query)
+
+    def plan_query(self, sink: int, query: RangeQuery) -> QueryPlan:
+        """Pure resolving: canonical decomposition at the sink, zero messages."""
         lo, hi = query.bounds[self.attribute]
         ranges = self.canonical_ranges(lo, hi)
         # Visit the leaf nodes under every canonical range (data lives at
@@ -265,55 +269,98 @@ class DifsIndex:
         leaf_ranges: list[_IndexRange] = []
         for node in ranges:
             leaf_ranges.extend(self._leaves_under(node))
-        destinations = sorted(
-            {self.index_node_of(leaf) for leaf in leaf_ranges}
+        leaf_nodes = tuple(self.index_node_of(leaf) for leaf in leaf_ranges)
+        destinations = sorted(set(leaf_nodes))
+        return QueryPlan(
+            system="difs",
+            sink=sink,
+            query=query,
+            cells=tuple((leaf.lo, leaf.hi) for leaf in leaf_ranges),
+            destinations=tuple(destinations),
+            share_key=("difs", sink, tuple(destinations)),
+            detail=(
+                tuple((r.lo, r.hi) for r in ranges),
+                tuple(leaf_ranges),
+                leaf_nodes,
+            ),
         )
-        if not destinations or destinations == [sink]:
-            events, fetched = self._fetch(leaf_ranges, query)
+
+    def execute_plan(self, plan: QueryPlan) -> Execution:
+        """Disseminate to the leaf index nodes; collect the replies."""
+        if plan.is_local:
+            return Execution(answered=frozenset(plan.destinations))
+        delivery = self.network.disseminate(
+            MessageCategory.QUERY_FORWARD, plan.sink, list(plan.destinations)
+        )
+        answered, reply = self.network.collect_up_tree(
+            MessageCategory.QUERY_REPLY, delivery
+        )
+        return Execution(
+            forward_cost=delivery.attempted_edges,
+            reply_cost=reply,
+            depth_hops=delivery.tree.height(),
+            answered=answered,
+        )
+
+    def fold_replies(self, plan: QueryPlan, execution: Execution) -> QueryResult:
+        """Fetch + post-filter matches from the leaves whose node answered."""
+        query: RangeQuery = plan.query
+        canonical, leaf_ranges, leaf_nodes = plan.detail
+        destinations = list(plan.destinations)
+        if plan.is_local:
+            events, fetched = self._fetch(list(leaf_ranges), query)
             return QueryResult(
                 events=events,
                 forward_cost=0,
                 reply_cost=0,
                 visited_nodes=tuple(destinations),
                 detail=DifsQueryDetail(
-                    canonical_ranges=tuple((r.lo, r.hi) for r in ranges),
+                    canonical_ranges=canonical,
                     index_nodes=tuple(destinations),
                     post_filtered=fetched - len(events),
                 ),
             )
-        delivery = self.network.disseminate(
-            MessageCategory.QUERY_FORWARD, sink, destinations
-        )
-        answered, reply = self.network.collect_up_tree(
-            MessageCategory.QUERY_REPLY, delivery
-        )
+        answered = execution.answered
         # A leaf answers only when its index node's reply reached the sink.
         answered_leaves = [
-            leaf for leaf in leaf_ranges if self.index_node_of(leaf) in answered
+            leaf
+            for leaf, node in zip(leaf_ranges, leaf_nodes)
+            if node in answered
         ]
         events, fetched = self._fetch(answered_leaves, query)
         return resolve_result(
             events=events,
-            forward_cost=delivery.attempted_edges,
-            reply_cost=reply,
+            forward_cost=execution.forward_cost,
+            reply_cost=execution.reply_cost,
             visited_nodes=tuple(destinations),
             detail=DifsQueryDetail(
-                canonical_ranges=tuple((r.lo, r.hi) for r in ranges),
+                canonical_ranges=canonical,
                 index_nodes=tuple(destinations),
                 post_filtered=fetched - len(events),
             ),
-            depth_hops=delivery.tree.height(),
+            depth_hops=execution.depth_hops,
             attempted_cells=len(leaf_ranges),
             answered_cells=len(answered_leaves),
             unreachable_cells=tuple(
                 (leaf.lo, leaf.hi)
-                for leaf in leaf_ranges
-                if self.index_node_of(leaf) not in answered
+                for leaf, node in zip(leaf_ranges, leaf_nodes)
+                if node not in answered
             ),
             unreachable_nodes=tuple(
                 node for node in destinations if node not in answered
             ),
         )
+
+    def query_span_attrs(self, result: QueryResult) -> dict[str, object]:
+        """DIFS attributes for the query lifecycle span."""
+        return {
+            "post_filtered": result.detail.post_filtered,
+            "matches": result.match_count,
+        }
+
+    def close(self) -> None:
+        """Detach external hooks so the deployment can be reused."""
+        self.insert_listeners.clear()
 
     def _fetch(
         self, leaf_ranges: list[_IndexRange], query: RangeQuery

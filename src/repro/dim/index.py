@@ -11,6 +11,7 @@ benchmark harness can drive DIM and Pool identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.aggregates import AggregateKind, AggregateState
 from repro.dcs import AggregateResult, InsertReceipt, QueryResult, resolve_result
@@ -19,6 +20,7 @@ from repro.dim.zones import Zone, ZoneTree
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
 from repro.exceptions import DimensionMismatchError, UnreachableError
+from repro.exec import Execution, QueryPlan, run_staged
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
 
@@ -56,6 +58,11 @@ class DimIndex:
         # several zones; zone granularity keeps queries precise).
         self._storage: dict[str, list[Event]] = {}
         self._event_count = 0
+        # Called after every successfully stored event with
+        # (zone_code, event, owner_node) — zone codes are the native cell
+        # identity DIM plans resolve to, so the serve-layer cache
+        # invalidates on exactly the zones a cached plan covers.
+        self.insert_listeners: list[Callable[[str, Event, int], None]] = []
 
     # ------------------------------------------------------------------ #
     # DataCentricStore protocol                                          #
@@ -80,6 +87,8 @@ class DimIndex:
             )
         self._storage.setdefault(leaf.code, []).append(event)
         self._event_count += 1
+        for listener in self.insert_listeners:
+            listener(leaf.code, event, leaf.owner)
         return InsertReceipt(
             home_node=leaf.owner, hops=len(path) - 1, detail=leaf.code
         )
@@ -93,51 +102,73 @@ class DimIndex:
            GPSR tree.
         3. Each owner filters its zone storage; replies aggregate back up
            the same tree.
-        """
-        tel = self.network.telemetry
-        if tel is None:
-            return self._query_impl(sink, query)
-        with tel.span("query", phase="query", sink=sink) as span:
-            result = self._query_impl(sink, query)
-            span.add_messages(result.total_cost)
-            span.add_nodes(result.visited_nodes)
-            span.attrs["zones_visited"] = result.detail.zones_visited
-            span.attrs["matches"] = result.match_count
-            return result
 
-    def _query_impl(self, sink: int, query: RangeQuery) -> QueryResult:
+        Thin compatibility wrapper over the staged pipeline
+        (:meth:`plan_query` / :meth:`execute_plan` / :meth:`fold_replies`).
+        """
+        return run_staged(self, sink, query)
+
+    def plan_query(self, sink: int, query: RangeQuery) -> QueryPlan:
+        """Pure resolving: the value k-d descent at the sink, zero messages."""
         zones = self.tree.zones_for_query(query)
         owners = sorted({zone.owner for zone in zones})
+        return QueryPlan(
+            system="dim",
+            sink=sink,
+            query=query,
+            cells=tuple(zone.code for zone in zones),
+            destinations=tuple(owners),
+            share_key=("dim", sink, tuple(owners)),
+            detail=tuple(zones),
+        )
+
+    def execute_plan(self, plan: QueryPlan) -> Execution:
+        """Disseminate to the distinct zone owners; collect the replies."""
+        if plan.is_local:
+            # Everything is local to the sink: no radio traffic.
+            return Execution(answered=frozenset(plan.destinations))
+        delivery = self.network.disseminate(
+            MessageCategory.QUERY_FORWARD, plan.sink, list(plan.destinations)
+        )
+        answered, reply_cost = self.network.collect_up_tree(
+            MessageCategory.QUERY_REPLY, delivery
+        )
+        return Execution(
+            forward_cost=delivery.attempted_edges,
+            reply_cost=reply_cost,
+            depth_hops=delivery.tree.height(),
+            answered=answered,
+        )
+
+    def fold_replies(self, plan: QueryPlan, execution: Execution) -> QueryResult:
+        """Fold the answered zones' qualifying events into the result."""
+        query: RangeQuery = plan.query
+        zones: tuple[Zone, ...] = plan.detail
+        owners = list(plan.destinations)
         detail = DimQueryDetail(
-            zone_codes=tuple(zone.code for zone in zones),
+            zone_codes=tuple(plan.cells),
             owner_nodes=tuple(owners),
         )
-        if not owners or owners == [sink]:
-            # Everything is local to the sink: no radio traffic.
+        if plan.is_local:
             return QueryResult(
-                events=self._collect(zones, query),
+                events=self._collect(list(zones), query),
                 forward_cost=0,
                 reply_cost=0,
                 visited_nodes=tuple(owners),
                 detail=detail,
             )
-        delivery = self.network.disseminate(
-            MessageCategory.QUERY_FORWARD, sink, owners
-        )
-        answered, reply_cost = self.network.collect_up_tree(
-            MessageCategory.QUERY_REPLY, delivery
-        )
+        answered = execution.answered
         # A zone answers only when its owner's reply reached the sink.
         events = self._collect(
             [zone for zone in zones if zone.owner in answered], query
         )
         return resolve_result(
             events=events,
-            forward_cost=delivery.attempted_edges,
-            reply_cost=reply_cost,
+            forward_cost=execution.forward_cost,
+            reply_cost=execution.reply_cost,
             visited_nodes=tuple(owners),
             detail=detail,
-            depth_hops=delivery.tree.height(),
+            depth_hops=execution.depth_hops,
             attempted_cells=len(zones),
             answered_cells=sum(1 for zone in zones if zone.owner in answered),
             unreachable_cells=tuple(
@@ -147,6 +178,17 @@ class DimIndex:
                 owner for owner in owners if owner not in answered
             ),
         )
+
+    def query_span_attrs(self, result: QueryResult) -> dict[str, object]:
+        """DIM attributes for the query lifecycle span."""
+        return {
+            "zones_visited": result.detail.zones_visited,
+            "matches": result.match_count,
+        }
+
+    def close(self) -> None:
+        """Detach external hooks so the deployment can be reused."""
+        self.insert_listeners.clear()
 
     def aggregate(
         self,

@@ -1,0 +1,103 @@
+"""Query plans: the immutable output of the *resolving* stage.
+
+The paper's Pool scheme already separates resolving (Theorem 3.2 /
+Algorithm 2 name the relevant cell set at the sink, with zero messages)
+from forwarding (splitter-tree dissemination and reply folding).  The
+:class:`QueryPlan` makes that separation a first-class artifact shared by
+every system under test: planning is pure, produces a hashable record of
+*what the execution will touch*, and never charges a message.
+
+A plan carries three identities, each serving a different consumer:
+
+``cache_key``
+    ``(system, sink, query)`` — the lookup key of the serving layer's
+    plan/result cache.  Two submissions with equal keys are the same
+    request and may share a cached result.
+``cells``
+    The system's *native* cell identities the plan resolves to — Pool
+    ``(pool, ho, vo)`` triples, DIM zone codes, DIFS leaf ranges, the
+    external warehouse marker, or :data:`ALL_CELLS` for flooding.  These
+    are exactly the identities each system's insert listeners report, so
+    an insert landing in a plan's cell set invalidates precisely the
+    cache entries it could have affected.
+``share_key``
+    Groups plans whose *executions* are interchangeable: equal share
+    keys guarantee the dissemination charges the same messages over the
+    same tree, so a batch of concurrent queries with one share key can
+    ride a single multicast tree and fold individually.  Systems whose
+    message pattern depends on the query payload (flooding scans storage
+    to pick responders) include the query in the share key, restricting
+    sharing to literal repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["QueryPlan", "ALL_CELLS", "WAREHOUSE_CELL"]
+
+#: Sentinel cell identity for systems with no index: every node may hold a
+#: match, so every insert invalidates every cached plan (flooding).
+ALL_CELLS = "*"
+
+#: Native cell identity of the external-storage warehouse.
+WAREHOUSE_CELL = "warehouse"
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """One resolved query: which cells and holders an execution will visit.
+
+    Attributes
+    ----------
+    system:
+        Registry label of the planning system (``"pool"``, ``"dim"``, ...).
+    sink:
+        Node issuing the query.
+    query:
+        The query itself (hashable; a :class:`~repro.events.queries.
+        RangeQuery` for range systems, the lookup key for GHT).
+    cells:
+        Native cell identities resolved as relevant, in resolution order.
+    destinations:
+        Physical nodes the dissemination must reach, in charge order.
+    share_key:
+        Hashable signature under which executions are interchangeable
+        (see module docstring).
+    detail:
+        Frozen system-specific planning payload (per-Pool legs, zone
+        owner maps, leaf index nodes, ...), consumed by that system's
+        ``execute_plan``/``fold_replies``.  Excluded from equality and
+        hashing: it is derived from the compared fields plus system
+        state, and need not itself be hashable (DIM zones aren't).
+    """
+
+    system: str
+    sink: int
+    query: Hashable
+    cells: tuple[Hashable, ...]
+    destinations: tuple[int, ...]
+    share_key: Hashable
+    detail: Any = field(default=None, compare=False)
+
+    @property
+    def cache_key(self) -> tuple[str, int, Hashable]:
+        """Cache lookup identity: the request, not the resolved artifact."""
+        return (self.system, self.sink, self.query)
+
+    @property
+    def cell_set(self) -> frozenset[Hashable]:
+        """The resolved cells as a set — the cache-invalidation index."""
+        return frozenset(self.cells)
+
+    @property
+    def is_local(self) -> bool:
+        """Whether execution needs no radio traffic (all data at the sink)."""
+        return not self.destinations or self.destinations == (self.sink,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryPlan({self.system}, sink={self.sink}, "
+            f"cells={len(self.cells)}, destinations={len(self.destinations)})"
+        )

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.exceptions import QueryError, UnreachableError
+from repro.exec import Execution, QueryPlan
 from repro.geometry import Point
 from repro.network.messages import MessageCategory
 from repro.network.network import Network
@@ -63,6 +64,9 @@ class GeographicHashTable:
         # Physical store: home node id -> key -> values.  Nodes only ever
         # read their own bucket; the dict is just the simulator's memory.
         self._store: dict[int, dict[Hashable, list[Any]]] = {}
+        # Called after every delivered put with (key, value, home_node);
+        # the key doubles as the native cell identity of GHT plans.
+        self.insert_listeners: list[Callable[[Hashable, Any, int], None]] = []
 
     # ------------------------------------------------------------------ #
     # Hashing                                                            #
@@ -105,6 +109,8 @@ class GeographicHashTable:
                 delivered=False,
             )
         self._store.setdefault(home, {}).setdefault(key, []).append(value)
+        for listener in self.insert_listeners:
+            listener(key, value, home)
         return GhtReceipt(key, home, point, hops=len(path) - 1, values=[value])
 
     def get(self, src: int, key: Hashable) -> GhtReceipt:
@@ -112,36 +118,86 @@ class GeographicHashTable:
 
         Cost: the request path to the home node plus one reply message per
         hop on the reverse path (the reply carries all values at once).
+
+        Thin wrapper over the staged pipeline (:meth:`plan_get` /
+        :meth:`execute_plan` / :meth:`fold_replies`).
         """
+        plan = self.plan_get(src, key)
+        return self.fold_replies(plan, self.execute_plan(plan))
+
+    def plan_get(self, src: int, key: Hashable) -> QueryPlan:
+        """Pure resolving: hash the key to its home location, zero messages."""
         point = self.hash_point(key)
+        return QueryPlan(
+            system="ght",
+            sink=src,
+            query=key,
+            cells=(key,),
+            destinations=(self.network.closest_node(point),),
+            share_key=("ght", src, key),
+            detail=point,
+        )
+
+    def execute_plan(self, plan: QueryPlan) -> Execution:
+        """Route the request to the home node; reply retraces the path.
+
+        ``detail`` carries the home node the request actually reached
+        (``None`` when the request itself was lost); ``answered`` is empty
+        whenever either direction failed.
+        """
+        point: Point = plan.detail
         try:
             home, path = self.network.unicast_to_point(
-                MessageCategory.DHT, src, point
+                MessageCategory.DHT, plan.sink, point
             )
         except UnreachableError as err:
-            return GhtReceipt(
-                key,
-                self.network.closest_node(point),
-                point,
-                hops=max(len(err.partial_path) - 1, 0),
-                values=[],
-                delivered=False,
+            return Execution(
+                forward_cost=max(len(err.partial_path) - 1, 0),
+                answered=frozenset(),
             )
-        values = list(self._store.get(home, {}).get(key, []))
+        hops = len(path) - 1
         # Reply retraces the request path.
         try:
             self.network.send_along(MessageCategory.DHT, list(reversed(path)))
         except UnreachableError:
             # The answer was lost on the way back; the request still paid.
+            return Execution(
+                forward_cost=hops,
+                reply_cost=hops,
+                depth_hops=hops,
+                answered=frozenset(),
+                detail=home,
+            )
+        return Execution(
+            forward_cost=hops,
+            reply_cost=hops,
+            depth_hops=hops,
+            answered=frozenset((home,)),
+            detail=home,
+        )
+
+    def fold_replies(self, plan: QueryPlan, execution: Execution) -> GhtReceipt:
+        """Build the receipt; values only when the reply made it back."""
+        key = plan.query
+        point: Point = plan.detail
+        home = (
+            execution.detail
+            if execution.detail is not None
+            else self.network.closest_node(point)
+        )
+        if not execution.answered:
             return GhtReceipt(
                 key,
                 home,
                 point,
-                hops=2 * (len(path) - 1),
+                hops=execution.total_cost,
                 values=[],
                 delivered=False,
             )
-        return GhtReceipt(key, home, point, hops=2 * (len(path) - 1), values=values)
+        values = list(self._store.get(home, {}).get(key, []))
+        return GhtReceipt(
+            key, home, point, hops=execution.total_cost, values=values
+        )
 
     def storage_distribution(self) -> dict[int, int]:
         """Values stored per home node — the hash-placement load view."""
@@ -159,6 +215,10 @@ class GeographicHashTable:
     def stored_keys(self, node: int) -> tuple[Hashable, ...]:
         """Keys homed at ``node``."""
         return tuple(self._store.get(node, {}).keys())
+
+    def close(self) -> None:
+        """Detach external hooks so the deployment can be reused."""
+        self.insert_listeners.clear()
 
     def require(self, src: int, key: Hashable) -> GhtReceipt:
         """Like :meth:`get` but raises :class:`QueryError` on a miss."""

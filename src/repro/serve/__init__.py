@@ -1,0 +1,35 @@
+"""Online serving layer over the staged query pipeline.
+
+Deterministic scheduled workloads (:mod:`repro.serve.schedule`), a
+simulated clock (:mod:`repro.serve.clock`), a plan/result cache with
+cell-set invalidation (:mod:`repro.serve.cache`), the request-queue
+service with batch coalescing (:mod:`repro.serve.service`) and the
+throughput/latency/SLO reporting (:mod:`repro.serve.report`).
+
+Surfaced on the CLI as ``pool-bench serve``.
+"""
+
+from repro.serve.cache import CacheEntry, PlanResultCache
+from repro.serve.clock import SimClock
+from repro.serve.report import ServedQuery, ServeReport, render_serve_table
+from repro.serve.schedule import (
+    ARRIVAL_PATTERNS,
+    ServeRequest,
+    ServeSchedule,
+    build_schedule,
+)
+from repro.serve.service import QueryService
+
+__all__ = [
+    "ARRIVAL_PATTERNS",
+    "CacheEntry",
+    "PlanResultCache",
+    "QueryService",
+    "ServeRequest",
+    "ServeSchedule",
+    "ServeReport",
+    "ServedQuery",
+    "SimClock",
+    "build_schedule",
+    "render_serve_table",
+]

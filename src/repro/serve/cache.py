@@ -1,0 +1,182 @@
+"""Plan/result cache for the serving layer.
+
+Entries are looked up by request identity ``(sink, query)`` and indexed
+for invalidation by the plan's *resolved cell set* — the Theorem 3.2
+output that the staged pipeline made first-class.  The soundness argument
+is each system's resolve-covers-placement invariant: an event that could
+change a query's answer is always stored in a cell the query's plan
+lists (Pool places events only in cells Algorithm 2 resolves for any
+matching query; DIM zones partition the value space; a DIFS event's leaf
+is always among the query's leaves; flooding and external storage use
+conservative whole-system sentinels).  So invalidating exactly the
+entries whose cell set contains the insert's cell can never serve a
+stale result — and never evicts an unaffected entry.
+
+The cache hooks a system's ``insert_listeners``; detach with
+:meth:`PlanResultCache.detach` (or the system's ``close()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.core.insertion import Placement
+from repro.dcs import QueryResult
+from repro.events.queries import RangeQuery
+from repro.exec import QueryPlan
+
+__all__ = ["CacheEntry", "PlanResultCache"]
+
+CacheKey = tuple[int, Hashable]
+
+
+def _native_cell(cell: Any) -> Hashable:
+    """Normalize a listener's cell to the identity plans list.
+
+    Pool's listeners report :class:`Placement` (the shape the
+    continuous-query service consumes); Pool plans list the equivalent
+    ``(pool, ho, vo)`` triple.  Every other system already reports its
+    plan-native identity.
+    """
+    if isinstance(cell, Placement):
+        return (cell.pool, cell.ho, cell.vo)
+    return cell
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One cached plan with its folded result.
+
+    ``cost`` is what the producing execution charged to the ledger — the
+    messages a cache hit avoids re-charging (exact on a deterministic
+    network: re-executing the same plan charges the same messages).
+    """
+
+    plan: QueryPlan
+    result: QueryResult
+    cost: int
+
+
+class PlanResultCache:
+    """Resolved-cell-set keyed cache over one system's staged pipeline."""
+
+    def __init__(self) -> None:
+        self._entries: dict[CacheKey, CacheEntry] = {}
+        # Inverted index: native cell -> keys of entries whose plan
+        # resolved that cell.
+        self._by_cell: dict[Hashable, set[CacheKey]] = {}
+        self._attached: list[tuple[Any, Any]] = []
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store                                                     #
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, sink: int, query: RangeQuery) -> CacheEntry | None:
+        """The live entry for ``(sink, query)``, counting hit/miss."""
+        entry = self._entries.get((sink, query))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(self, plan: QueryPlan, result: QueryResult, cost: int) -> None:
+        """Cache a freshly folded result under its plan's identities."""
+        key: CacheKey = (plan.sink, plan.query)
+        existing = self._entries.get(key)
+        if existing is not None:
+            self._unindex(key, existing.plan)
+        self._entries[key] = CacheEntry(plan=plan, result=result, cost=cost)
+        for cell in dict.fromkeys(plan.cells):
+            self._by_cell.setdefault(cell, set()).add(key)
+
+    # ------------------------------------------------------------------ #
+    # Invalidation                                                       #
+    # ------------------------------------------------------------------ #
+
+    def invalidate_cell(self, cell: Hashable) -> int:
+        """Drop every entry whose resolved cell set contains ``cell``.
+
+        Returns how many entries were invalidated.
+        """
+        keys = self._by_cell.pop(_native_cell(cell), None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in sorted(keys, key=repr):
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                continue
+            self._unindex(key, entry.plan)
+            dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def invalidate_all(self) -> int:
+        """Drop everything (topology changes, failure epochs)."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._by_cell.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def _unindex(self, key: CacheKey, plan: QueryPlan) -> None:
+        for cell in dict.fromkeys(plan.cells):
+            anchored = self._by_cell.get(cell)
+            if anchored is not None:
+                anchored.discard(key)
+                if not anchored:
+                    del self._by_cell[cell]
+
+    # ------------------------------------------------------------------ #
+    # Insert-listener wiring                                             #
+    # ------------------------------------------------------------------ #
+
+    def attach(self, system: Any) -> None:
+        """Hook the system's insert listeners for automatic invalidation."""
+
+        def _on_insert(cell: Any, event: Any, holder: int) -> None:
+            self.invalidate_cell(cell)
+
+        system.insert_listeners.append(_on_insert)
+        self._attached.append((system, _on_insert))
+
+    def detach(self) -> None:
+        """Unhook every listener registered by :meth:`attach`.  Idempotent."""
+        for system, listener in self._attached:
+            try:
+                system.insert_listeners.remove(listener)
+            except ValueError:
+                pass  # the system already tore its listener list down
+        self._attached.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 with no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def cells_indexed(self) -> int:
+        """Number of distinct cells in the invalidation index."""
+        return len(self._by_cell)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanResultCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"invalidations={self.invalidations})"
+        )

@@ -1,0 +1,51 @@
+"""Deterministic simulated clock for the serving layer.
+
+The serving layer reasons about time constantly — admission windows,
+queue waits, SLO attainment, throughput — and every one of those numbers
+must be byte-identical across runs, machines and ``--jobs``.  So the
+serve clock is *simulated*: it starts at zero, advances only when the
+service says so (to a request's admission deadline, never backwards), and
+never consults the wall clock.  ``time.time``/``datetime.now`` are banned
+here by repro_lint REP002; wall-clock profiling belongs to the bench
+timing fields, not to anything a report or cache decision reads.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotone simulated clock (seconds as ``float``)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by ``seconds`` (>= 0); returns the new time."""
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move forward to ``timestamp``; earlier timestamps are a no-op.
+
+        Monotonicity by construction: replaying a request log can never
+        rewind the clock, so latencies stay non-negative.
+        """
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,162 @@
+"""Throughput / latency / SLO reporting for the serving layer.
+
+Every number here is derived from *simulated* time and the deterministic
+message ledger, so a serve report is byte-identical across runs — it can
+be diffed in CI like any other capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ServedQuery", "ServeReport", "render_serve_table"]
+
+#: How a request was satisfied.
+OUTCOME_EXECUTED = "executed"
+OUTCOME_CACHE = "cache"
+OUTCOME_COALESCED = "coalesced"
+
+
+@dataclass(slots=True)
+class ServedQuery:
+    """Accounting for one served request."""
+
+    request_id: int
+    sink: int
+    submitted_at: float
+    served_at: float
+    outcome: str  # executed | cache | coalesced
+    messages: int  # ledger messages charged on behalf of this request
+    saved_messages: int  # messages an uncached/uncoalesced run would charge
+    depth_hops: int
+    matches: int
+    latency_s: float  # queue wait + simulated radio round trip
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "sink": self.sink,
+            "submitted_at": round(self.submitted_at, 6),
+            "served_at": round(self.served_at, 6),
+            "outcome": self.outcome,
+            "messages": self.messages,
+            "saved_messages": self.saved_messages,
+            "depth_hops": self.depth_hops,
+            "matches": self.matches,
+            "latency_s": round(self.latency_s, 6),
+        }
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sample (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(p * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass(slots=True)
+class ServeReport:
+    """One service run's aggregate accounting."""
+
+    system: str
+    duration: float  # simulated seconds the schedule spanned
+    slo_target_s: float
+    served: list[ServedQuery] = field(default_factory=list)
+    messages_total: int = 0  # everything the ledger charged during serving
+
+    # -- derived ------------------------------------------------------- #
+
+    @property
+    def requests(self) -> int:
+        return len(self.served)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.served if s.outcome == OUTCOME_CACHE)
+
+    @property
+    def coalesced(self) -> int:
+        return sum(1 for s in self.served if s.outcome == OUTCOME_COALESCED)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for s in self.served if s.outcome == OUTCOME_EXECUTED)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def saved_messages(self) -> int:
+        return sum(s.saved_messages for s in self.served)
+
+    @property
+    def throughput(self) -> float:
+        """Requests per simulated second."""
+        return self.requests / self.duration if self.duration > 0 else 0.0
+
+    def latency_percentile(self, p: float) -> float:
+        return _percentile(sorted(s.latency_s for s in self.served), p)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests served within the SLO latency target."""
+        if not self.served:
+            return 1.0
+        within = sum(1 for s in self.served if s.latency_s <= self.slo_target_s)
+        return within / len(self.served)
+
+    def as_dict(self, *, include_requests: bool = True) -> dict[str, Any]:
+        """JSON-ready view (deterministic; the CI artifact format)."""
+        payload: dict[str, Any] = {
+            "schema": "serve-report/1",
+            "system": self.system,
+            "duration_s": round(self.duration, 6),
+            "requests": self.requests,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "hit_rate": round(self.hit_rate, 6),
+            "messages_total": self.messages_total,
+            "saved_messages": self.saved_messages,
+            "throughput_rps": round(self.throughput, 6),
+            "latency_p50_s": round(self.latency_percentile(0.50), 6),
+            "latency_p95_s": round(self.latency_percentile(0.95), 6),
+            "latency_p99_s": round(self.latency_percentile(0.99), 6),
+            "slo_target_s": round(self.slo_target_s, 6),
+            "slo_attainment": round(self.slo_attainment, 6),
+        }
+        if include_requests:
+            payload["served"] = [s.as_dict() for s in self.served]
+        return payload
+
+
+def render_serve_table(
+    rows: list[tuple[ServeReport, ServeReport]],
+) -> str:
+    """Human-readable serve summary.
+
+    ``rows`` pairs each system's cached run with its uncached control run
+    of the same schedule; the messages-saved column is the measured
+    difference between the two ledgers, not an estimate.
+    """
+    header = (
+        f"{'system':<10} {'req':>5} {'hits':>5} {'hit%':>6} {'coal':>5} "
+        f"{'msgs':>8} {'uncached':>9} {'saved':>8} {'p50 ms':>8} "
+        f"{'p95 ms':>8} {'slo%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for report, control in rows:
+        saved = control.messages_total - report.messages_total
+        lines.append(
+            f"{report.system:<10} {report.requests:>5} "
+            f"{report.cache_hits:>5} {100 * report.hit_rate:>5.1f}% "
+            f"{report.coalesced:>5} {report.messages_total:>8} "
+            f"{control.messages_total:>9} {saved:>8} "
+            f"{1000 * report.latency_percentile(0.50):>8.2f} "
+            f"{1000 * report.latency_percentile(0.95):>8.2f} "
+            f"{100 * report.slo_attainment:>5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Scheduled query workloads for the serving layer.
+
+A schedule is a time-stamped request log: who asks what, when.  Three
+arrival patterns cover the serving scenarios the benchmark cares about:
+
+``poisson``
+    Memoryless arrivals at a constant rate — the classic open-loop
+    workload model.
+``bursts``
+    Poisson-distributed burst epicenters, each releasing a clump of
+    near-simultaneous requests — what batch coalescing exists for.
+``diurnal``
+    A non-homogeneous Poisson process whose rate follows one sinusoidal
+    cycle over the schedule (quiet start, busy middle) — thinned from a
+    homogeneous candidate stream, the standard construction.
+
+Queries are drawn from a finite *hot pool* with probability
+``repeat_fraction`` (repeated-query traffic — what the plan/result cache
+exists for) and freshly generated otherwise.  Every draw derives from the
+schedule seed, so a schedule is a pure function of its parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.events.generators import QueryWorkload
+from repro.events.queries import RangeQuery
+from repro.exceptions import ConfigurationError
+from repro.rng import SeedLike, derive
+
+__all__ = ["ServeRequest", "ServeSchedule", "build_schedule", "ARRIVAL_PATTERNS"]
+
+ARRIVAL_PATTERNS = ("poisson", "bursts", "diurnal")
+
+
+@dataclass(frozen=True, slots=True)
+class ServeRequest:
+    """One scheduled query submission."""
+
+    request_id: int
+    time: float
+    sink: int
+    query: RangeQuery
+
+
+@dataclass(frozen=True, slots=True)
+class ServeSchedule:
+    """An immutable, time-ordered request log."""
+
+    requests: tuple[ServeRequest, ...]
+    duration: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServeSchedule({len(self.requests)} requests over "
+            f"{self.duration:.1f}s)"
+        )
+
+
+def _arrival_times(
+    pattern: str,
+    duration: float,
+    rate: float,
+    seed: SeedLike,
+    burst_size: int,
+) -> list[float]:
+    rng = derive(seed, "serve-arrivals")
+    times: list[float] = []
+    if pattern == "poisson":
+        t = rng.exponential(1.0 / rate)
+        while t < duration:
+            times.append(t)
+            t += rng.exponential(1.0 / rate)
+    elif pattern == "bursts":
+        # Burst epicenters arrive Poisson at rate/burst_size, preserving
+        # the overall request rate; members trail the epicenter closely.
+        epicenter_rate = rate / burst_size
+        t = rng.exponential(1.0 / epicenter_rate)
+        while t < duration:
+            for _ in range(burst_size):
+                offset = rng.exponential(0.01)
+                if t + offset < duration:
+                    times.append(t + offset)
+            t += rng.exponential(1.0 / epicenter_rate)
+    elif pattern == "diurnal":
+        # Thinning: candidates at the peak rate 2*rate, accepted with
+        # probability lambda(t)/peak where lambda(t) = rate*(1-cos(2pi
+        # t/duration)) — one quiet-to-busy-to-quiet cycle.
+        peak = 2.0 * rate
+        t = rng.exponential(1.0 / peak)
+        while t < duration:
+            lam = rate * (1.0 - math.cos(2.0 * math.pi * t / duration))
+            if rng.random() < lam / peak:
+                times.append(t)
+            t += rng.exponential(1.0 / peak)
+    else:
+        raise ConfigurationError(
+            f"unknown arrival pattern {pattern!r}; choose from "
+            f"{ARRIVAL_PATTERNS}"
+        )
+    times.sort()
+    return times
+
+
+def build_schedule(
+    *,
+    workload: QueryWorkload,
+    sinks: Sequence[int],
+    duration: float,
+    rate: float,
+    seed: SeedLike = None,
+    pattern: str = "poisson",
+    repeat_fraction: float = 0.75,
+    unique_queries: int = 8,
+    burst_size: int = 4,
+) -> ServeSchedule:
+    """Build a deterministic scheduled workload.
+
+    Parameters
+    ----------
+    workload:
+        Query shape generator (exact / m-partial, range-size law).
+    sinks:
+        Nodes requests may be issued from (drawn uniformly).
+    duration:
+        Schedule length in simulated seconds.
+    rate:
+        Mean request arrival rate (requests per simulated second).
+    pattern:
+        Arrival process: ``"poisson"``, ``"bursts"`` or ``"diurnal"``.
+    repeat_fraction:
+        Probability a request re-asks a hot-pool query (cacheable
+        traffic) instead of a fresh one-off query.
+    unique_queries:
+        Size of the hot query pool.
+    burst_size:
+        Requests per burst (``pattern="bursts"`` only).
+    """
+    if duration <= 0.0:
+        raise ConfigurationError(f"duration must be > 0, got {duration}")
+    if rate <= 0.0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise ConfigurationError(
+            f"repeat_fraction must be in [0, 1], got {repeat_fraction}"
+        )
+    if unique_queries < 1:
+        raise ConfigurationError(
+            f"unique_queries must be >= 1, got {unique_queries}"
+        )
+    if burst_size < 1:
+        raise ConfigurationError(f"burst_size must be >= 1, got {burst_size}")
+    if not sinks:
+        raise ConfigurationError("need at least one sink node")
+    hot_pool = workload.generate(
+        unique_queries, seed=derive(seed, "serve-hot-pool")
+    )
+    times = _arrival_times(pattern, duration, rate, seed, burst_size)
+    picker = derive(seed, "serve-mix")
+    requests: list[ServeRequest] = []
+    fresh = 0
+    for i, t in enumerate(times):
+        sink = sinks[int(picker.integers(len(sinks)))]
+        if picker.random() < repeat_fraction:
+            query = hot_pool[int(picker.integers(len(hot_pool)))]
+        else:
+            query = workload.generate(
+                1, seed=derive(seed, "serve-fresh", fresh)
+            )[0]
+            fresh += 1
+        requests.append(
+            ServeRequest(request_id=i, time=t, sink=sink, query=query)
+        )
+    return ServeSchedule(requests=tuple(requests), duration=duration)

@@ -1,0 +1,224 @@
+"""The online query service: scheduled workloads over a staged system.
+
+:class:`QueryService` replays a :class:`~repro.serve.schedule.ServeSchedule`
+against any :class:`~repro.exec.StagedQuerySystem`, exploiting the staged
+pipeline in the two ways it was built for:
+
+* **Plan/result caching** — a repeated ``(sink, query)`` is answered from
+  the :class:`~repro.serve.cache.PlanResultCache` without planning or
+  charging a single message; insert listeners invalidate exactly the
+  entries whose resolved cell set the new event touched.
+* **Batch coalescing** — requests admitted in the same batch window whose
+  plans carry equal ``share_key``\\ s share ONE execution: the group
+  leader disseminates, every member folds its own result from the shared
+  :class:`~repro.exec.Execution`.  Folding is per-member and reads the
+  stores at fold time, so members get exactly the result they would have
+  gotten alone.
+
+All timing is simulated (:class:`~repro.serve.clock.SimClock`); message
+savings are measured off the real ledger via stats checkpoints, never
+estimated.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.exec import QueryPlan, StagedQuerySystem, check_query_dimensions
+from repro.serve.cache import PlanResultCache
+from repro.serve.clock import SimClock
+from repro.serve.report import (
+    OUTCOME_CACHE,
+    OUTCOME_COALESCED,
+    OUTCOME_EXECUTED,
+    ServedQuery,
+    ServeReport,
+)
+from repro.serve.schedule import ServeRequest, ServeSchedule
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """Serve scheduled queries over one staged system.
+
+    Parameters
+    ----------
+    system:
+        Any :class:`~repro.exec.StagedQuerySystem` (Pool, DIM, DIFS,
+        flooding, external).
+    name:
+        Label for reports; defaults to the system class name, lowered.
+    clock:
+        Simulated clock; a fresh zero-start :class:`SimClock` by default.
+    cache:
+        Plan/result cache.  ``None`` disables caching (the control
+        configuration).  The service attaches the cache's invalidation
+        listener to the system and detaches it in :meth:`close`.
+    batch_window:
+        Admission window in simulated seconds.  Requests arriving within
+        ``window`` of the batch's first request are served together and
+        may coalesce; ``0.0`` serves strictly one request at a time
+        (no coalescing — the control configuration).
+    hop_latency:
+        Simulated per-hop one-way latency in seconds; a served request's
+        radio round trip is ``2 * depth_hops * hop_latency``.
+    slo_target_s:
+        Latency target the report scores attainment against.
+    """
+
+    def __init__(
+        self,
+        system: StagedQuerySystem,
+        *,
+        name: str | None = None,
+        clock: SimClock | None = None,
+        cache: PlanResultCache | None = None,
+        batch_window: float = 0.0,
+        hop_latency: float = 0.01,
+        slo_target_s: float = 0.5,
+    ) -> None:
+        if batch_window < 0.0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if hop_latency < 0.0:
+            raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
+        self.system = system
+        self.name = name if name is not None else type(system).__name__.lower()
+        self.clock = clock if clock is not None else SimClock()
+        self.cache = cache
+        self.batch_window = batch_window
+        self.hop_latency = hop_latency
+        self.slo_target_s = slo_target_s
+        self._closed = False
+        if cache is not None:
+            cache.attach(system)
+
+    def close(self) -> None:
+        """Detach the cache's insert listener from the system.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.cache is not None:
+            self.cache.detach()
+
+    # ------------------------------------------------------------------ #
+    # Serving                                                            #
+    # ------------------------------------------------------------------ #
+
+    def run(self, schedule: ServeSchedule) -> ServeReport:
+        """Replay the schedule; returns the run's accounting report."""
+        report = ServeReport(
+            system=self.name,
+            duration=schedule.duration,
+            slo_target_s=self.slo_target_s,
+        )
+        stats = self.system.network.stats
+        run_start = stats.checkpoint()
+        requests = schedule.requests
+        i = 0
+        while i < len(requests):
+            batch = [requests[i]]
+            i += 1
+            close = batch[0].time
+            if self.batch_window > 0.0:
+                close = batch[0].time + self.batch_window
+                while i < len(requests) and requests[i].time <= close:
+                    batch.append(requests[i])
+                    i += 1
+            # The batch is served when its admission window closes.
+            self.clock.advance_to(close)
+            self._serve_batch(batch, report)
+        report.messages_total = sum(stats.delta(run_start).values())
+        return report
+
+    def _serve_batch(self, batch: list[ServeRequest], report: ServeReport) -> None:
+        tel = self.system.network.telemetry
+        if tel is None:
+            self._serve_batch_inner(batch, report)
+            return
+        with tel.span("serve-batch", phase="serve", size=len(batch)):
+            self._serve_batch_inner(batch, report)
+
+    def _serve_batch_inner(
+        self, batch: list[ServeRequest], report: ServeReport
+    ) -> None:
+        stats = self.system.network.stats
+        # Cache lookups come before planning: a hit skips resolving
+        # entirely (no resolve telemetry, zero messages).
+        groups: dict[Hashable, list[tuple[ServeRequest, QueryPlan]]] = {}
+        for request in batch:
+            check_query_dimensions(self.system.dimensions, request.query)
+            if self.cache is not None:
+                entry = self.cache.lookup(request.sink, request.query)
+                if entry is not None:
+                    # The folded result already sits at this sink; no
+                    # radio round trip, latency is pure queue wait.
+                    self._finish(
+                        request,
+                        report,
+                        outcome=OUTCOME_CACHE,
+                        messages=0,
+                        saved=entry.cost,
+                        depth_hops=0,
+                        matches=entry.result.match_count,
+                    )
+                    continue
+            plan = self.system.plan_query(request.sink, request.query)
+            groups.setdefault(plan.share_key, []).append((request, plan))
+        for members in groups.values():
+            _, leader_plan = members[0]
+            before = stats.checkpoint()
+            execution = self.system.execute_plan(leader_plan)
+            charged = sum(stats.delta(before).values())
+            for position, (request, plan) in enumerate(members):
+                result = self.system.fold_replies(plan, execution)
+                if self.cache is not None:
+                    self.cache.store(plan, result, cost=charged)
+                self._finish(
+                    request,
+                    report,
+                    outcome=OUTCOME_EXECUTED if position == 0 else OUTCOME_COALESCED,
+                    messages=charged if position == 0 else 0,
+                    saved=0 if position == 0 else charged,
+                    depth_hops=result.depth_hops,
+                    matches=result.match_count,
+                )
+
+    def _finish(
+        self,
+        request: ServeRequest,
+        report: ServeReport,
+        *,
+        outcome: str,
+        messages: int,
+        saved: int,
+        depth_hops: int,
+        matches: int,
+    ) -> None:
+        round_trip = 2.0 * depth_hops * self.hop_latency
+        served_at = self.clock.now + round_trip
+        served = ServedQuery(
+            request_id=request.request_id,
+            sink=request.sink,
+            submitted_at=request.time,
+            served_at=served_at,
+            outcome=outcome,
+            messages=messages,
+            saved_messages=saved,
+            depth_hops=depth_hops,
+            matches=matches,
+            latency_s=served_at - request.time,
+        )
+        report.served.append(served)
+        tel = self.system.network.telemetry
+        if tel is not None:
+            tel.record(
+                "serve-request",
+                phase="serve",
+                messages=messages,
+                request=request.request_id,
+                sink=request.sink,
+                outcome=outcome,
+                saved=saved,
+                matches=matches,
+            )

@@ -1,0 +1,86 @@
+"""Tests for the serving-layer benchmark and its CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.cli import build_parser, main
+from repro.bench.serve_bench import SERVE_SYSTEMS, run_serve
+
+FAST = dict(size=100, duration=10.0, rate=2.0, systems=("pool", "external"))
+
+
+class TestRunServe:
+    def test_cached_beats_control_on_repeated_traffic(self):
+        outcome = run_serve(seed=3, **FAST)
+        assert [row.system for row in outcome.rows] == ["pool", "external"]
+        for row in outcome.rows:
+            assert row.cached.hit_rate > 0.0
+            assert row.cached.messages_total < row.control.messages_total
+            assert row.messages_saved > 0
+            # Both configurations served the whole schedule.
+            assert row.cached.requests == row.control.requests == outcome.requests
+
+    def test_deterministic_across_runs(self):
+        first = run_serve(seed=3, **FAST)
+        second = run_serve(seed=3, **FAST)
+        assert first.as_dict() == second.as_dict()
+
+    def test_telemetry_records_one_per_system_and_mode(self):
+        outcome = run_serve(seed=3, telemetry=True, **FAST)
+        labels = [record["system"] for record in outcome.telemetry]
+        assert labels == [
+            "pool:cached",
+            "pool:control",
+            "external:cached",
+            "external:control",
+        ]
+
+    def test_default_systems_are_the_range_query_five(self):
+        assert SERVE_SYSTEMS == ("pool", "dim", "difs", "flooding", "external")
+
+
+class TestServeCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.experiment == "serve"
+        assert args.pattern == "poisson"
+        assert args.batch_window == 0.2
+        assert args.slo_report is None
+
+    def test_serve_prints_table_and_writes_artifacts(self, tmp_path, capsys):
+        report_path = tmp_path / "slo.json"
+        telemetry_path = tmp_path / "serve.jsonl"
+        code = main(
+            [
+                "serve",
+                "--size", "100",
+                "--duration", "10",
+                "--systems", "pool",
+                "--quiet",
+                "--slo-report", str(report_path),
+                "--telemetry", str(telemetry_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit%" in out and "uncached" in out and "pool" in out
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "serve-run/1"
+        (row,) = payload["rows"]
+        assert row["system"] == "pool"
+        assert row["cached"]["cache_hits"] > 0
+        assert row["messages_saved"] > 0
+        assert telemetry_path.is_file()
+
+    def test_bad_pattern_is_rejected_by_argparse(self, capsys):
+        try:
+            build_parser().parse_args(["serve", "--pattern", "lunar"])
+        except SystemExit as stop:
+            assert stop.code == 2
+        else:  # pragma: no cover - argparse always exits
+            raise AssertionError("expected SystemExit")
+
+    def test_bad_serve_parameters_fail_cleanly(self, capsys):
+        assert main(["serve", "--duration", "0", "--quiet"]) == 2
+        assert "serve:" in capsys.readouterr().err

@@ -1,0 +1,193 @@
+"""Plan/result cache: exact invalidation, sound under any interleaving."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import PoolSystem
+from repro.dim.index import DimIndex
+from repro.events.event import Event
+from repro.events.queries import RangeQuery
+from repro.exec import QueryPlan
+from repro.network.network import Network
+from repro.network.topology import deploy_uniform
+from repro.serve.cache import PlanResultCache
+
+
+def _plan(sink, query, cells, system="pool"):
+    return QueryPlan(
+        system=system,
+        sink=sink,
+        query=query,
+        cells=tuple(cells),
+        destinations=(1, 2),
+        share_key=(system, sink, tuple(cells)),
+    )
+
+
+def _result():
+    from repro.dcs import QueryResult
+
+    return QueryResult(events=[], forward_cost=3, reply_cost=2)
+
+
+QA = RangeQuery.partial(3, {0: (0.0, 0.5)})
+QB = RangeQuery.partial(3, {0: (0.5, 1.0)})
+
+
+class TestLookupStore:
+    def test_miss_then_hit(self):
+        cache = PlanResultCache()
+        assert cache.lookup(0, QA) is None
+        cache.store(_plan(0, QA, ["c1", "c2"]), _result(), cost=5)
+        entry = cache.lookup(0, QA)
+        assert entry is not None and entry.cost == 5
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lookup_is_per_sink(self):
+        cache = PlanResultCache()
+        cache.store(_plan(0, QA, ["c1"]), _result(), cost=1)
+        assert cache.lookup(1, QA) is None
+        assert cache.lookup(0, QA) is not None
+
+    def test_restore_replaces_the_index(self):
+        cache = PlanResultCache()
+        cache.store(_plan(0, QA, ["c1"]), _result(), cost=1)
+        cache.store(_plan(0, QA, ["c2"]), _result(), cost=1)
+        assert len(cache) == 1
+        # The old cell no longer invalidates the entry; the new one does.
+        assert cache.invalidate_cell("c1") == 0
+        assert cache.invalidate_cell("c2") == 1
+
+
+class TestInvalidation:
+    def test_invalidates_exactly_the_touched_entries(self):
+        cache = PlanResultCache()
+        cache.store(_plan(0, QA, ["shared", "a-only"]), _result(), cost=1)
+        cache.store(_plan(0, QB, ["shared", "b-only"]), _result(), cost=1)
+        cache.store(_plan(1, QA, ["c-only"]), _result(), cost=1)
+        assert cache.invalidate_cell("shared") == 2
+        assert cache.lookup(0, QA) is None
+        assert cache.lookup(0, QB) is None
+        assert cache.lookup(1, QA) is not None  # untouched survives
+        assert cache.invalidations == 2
+
+    def test_unknown_cell_invalidates_nothing(self):
+        cache = PlanResultCache()
+        cache.store(_plan(0, QA, ["c1"]), _result(), cost=1)
+        assert cache.invalidate_cell("elsewhere") == 0
+        assert len(cache) == 1
+
+    def test_invalidate_all(self):
+        cache = PlanResultCache()
+        cache.store(_plan(0, QA, ["c1"]), _result(), cost=1)
+        cache.store(_plan(0, QB, ["c2"]), _result(), cost=1)
+        assert cache.invalidate_all() == 2
+        assert len(cache) == 0 and cache.cells_indexed() == 0
+
+
+class TestAttachment:
+    def test_pool_insert_invalidates_covering_entry(self, net300):
+        pool = PoolSystem(net300, 3, seed=11)
+        cache = PlanResultCache()
+        cache.attach(pool)
+        query = RangeQuery.partial(3, {})  # covers every cell
+        plan = pool.plan_query(0, query)
+        cache.store(plan, pool.fold_replies(plan, pool.execute_plan(plan)), cost=9)
+        assert cache.lookup(0, query) is not None
+        cache.hits = cache.misses = 0
+        pool.insert(Event.of(0.5, 0.5, 0.5, source=3))
+        assert cache.lookup(0, query) is None  # insert evicted it
+        cache.detach()
+        assert pool.insert_listeners == []
+        pool.close()
+
+    def test_detach_is_idempotent_after_system_close(self, net300):
+        pool = PoolSystem(net300, 3, seed=11)
+        cache = PlanResultCache()
+        cache.attach(pool)
+        pool.close()  # system clears its listener list first
+        cache.detach()  # must not raise
+        cache.detach()
+
+
+# --------------------------------------------------------------------- #
+# Property: a cache hit is NEVER stale, whatever the interleaving.      #
+# --------------------------------------------------------------------- #
+
+_topology = None
+
+
+def _topo():
+    global _topology
+    if _topology is None:
+        _topology = deploy_uniform(120, seed=24)
+    return _topology
+
+
+# A handful of fixed queries (so repeats — and therefore hits — happen)
+# and boundary-heavy events.
+_QUERIES = [
+    RangeQuery.partial(3, {}),
+    RangeQuery.partial(3, {0: (0.0, 0.5)}),
+    RangeQuery.partial(3, {1: (0.25, 0.75)}),
+    RangeQuery.of((0.0, 1.0), (0.0, 0.3), (0.4, 1.0)),
+]
+
+unit = st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0])
+
+# op < 4: ask query _QUERIES[op]; op == 4: insert the paired event.
+interleavings = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.tuples(unit, unit, unit),
+    ),
+    min_size=4,
+    max_size=14,
+)
+
+
+class TestCoherenceProperty:
+    @given(interleavings, st.sampled_from(["pool", "dim"]))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_served_results_match_fresh_execution(self, ops, system_name):
+        """Random insert/query interleavings never serve a stale result.
+
+        After every step, a query served through the cache (hit or miss)
+        must return exactly the events a from-scratch staged execution
+        returns *at that moment* — i.e. insert-listener invalidation
+        catches every write that could change a cached answer.
+        """
+        topology = _topo()
+        network = Network(topology)
+        if system_name == "pool":
+            system = PoolSystem(network, 3, seed=1)
+        else:
+            system = DimIndex(network, 3)
+        cache = PlanResultCache()
+        cache.attach(system)
+        source = 0
+        for op, values in ops:
+            if op == 4:
+                system.insert(Event(values), source=source % topology.size)
+                source += 1
+                continue
+            query = _QUERIES[op]
+            entry = cache.lookup(0, query)
+            if entry is None:
+                plan = system.plan_query(0, query)
+                result = system.fold_replies(plan, system.execute_plan(plan))
+                cache.store(plan, result, cost=result.total_cost)
+            else:
+                result = entry.result
+            fresh = system.query(0, query)
+            assert sorted(e.values for e in result.events) == sorted(
+                e.values for e in fresh.events
+            )
+        system.close()

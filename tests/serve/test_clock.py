@@ -1,0 +1,34 @@
+"""SimClock: simulated, monotone, never wall-clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_to_is_monotone(self):
+        clock = SimClock(start=5.0)
+        assert clock.advance_to(3.0) == 5.0  # backwards is a no-op
+        assert clock.advance_to(7.25) == 7.25
+        assert clock.now == 7.25
+
+    def test_rejects_negative_start_and_advance(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_zero_advance_is_allowed(self):
+        clock = SimClock()
+        assert clock.advance(0.0) == 0.0

@@ -1,0 +1,92 @@
+"""Scheduled workloads: deterministic, well-formed, parameter-sensitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.generators import QueryWorkload
+from repro.exceptions import ConfigurationError
+from repro.serve.schedule import ARRIVAL_PATTERNS, build_schedule
+
+WORKLOAD = QueryWorkload(dimensions=3, kind="exact", range_sizes="uniform")
+
+
+def _schedule(**overrides):
+    params = dict(
+        workload=WORKLOAD,
+        sinks=(0, 7, 42),
+        duration=30.0,
+        rate=2.0,
+        seed=123,
+        pattern="poisson",
+    )
+    params.update(overrides)
+    return build_schedule(**params)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("pattern", ARRIVAL_PATTERNS)
+    def test_same_seed_same_schedule(self, pattern):
+        assert _schedule(pattern=pattern) == _schedule(pattern=pattern)
+
+    def test_different_seed_different_schedule(self):
+        assert _schedule(seed=1) != _schedule(seed=2)
+
+
+class TestShape:
+    @pytest.mark.parametrize("pattern", ARRIVAL_PATTERNS)
+    def test_requests_are_time_ordered_within_duration(self, pattern):
+        schedule = _schedule(pattern=pattern)
+        times = [r.time for r in schedule.requests]
+        assert times == sorted(times)
+        assert all(0.0 <= t < schedule.duration for t in times)
+        assert len(schedule) == len(schedule.requests) > 0
+
+    def test_request_ids_are_sequential(self):
+        schedule = _schedule()
+        assert [r.request_id for r in schedule.requests] == list(
+            range(len(schedule))
+        )
+
+    def test_sinks_come_from_the_given_set(self):
+        schedule = _schedule()
+        assert {r.sink for r in schedule.requests} <= {0, 7, 42}
+
+    def test_repeat_traffic_draws_from_a_finite_hot_pool(self):
+        schedule = _schedule(repeat_fraction=1.0, unique_queries=4)
+        assert len({r.query for r in schedule.requests}) <= 4
+
+    def test_fresh_traffic_is_unbounded(self):
+        repeated = _schedule(repeat_fraction=1.0, unique_queries=2)
+        fresh = _schedule(repeat_fraction=0.0, unique_queries=2)
+        assert len({r.query for r in fresh.requests}) > len(
+            {r.query for r in repeated.requests}
+        )
+
+    def test_burst_pattern_clusters_arrivals(self):
+        schedule = _schedule(pattern="bursts", rate=4.0, burst_size=5)
+        gaps = [
+            b.time - a.time
+            for a, b in zip(schedule.requests, schedule.requests[1:])
+        ]
+        # Burst members trail their epicenter by ~10 ms; a bursty
+        # schedule must show many sub-50ms gaps.
+        assert sum(1 for g in gaps if g < 0.05) >= len(gaps) // 4
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"duration": 0.0},
+            {"rate": -1.0},
+            {"repeat_fraction": 1.5},
+            {"unique_queries": 0},
+            {"burst_size": 0},
+            {"sinks": ()},
+            {"pattern": "lunar"},
+        ],
+    )
+    def test_bad_parameters_are_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            _schedule(**overrides)

@@ -1,0 +1,218 @@
+"""QueryService: caching, coalescing, accounting and teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.continuous import ContinuousQueryService
+from repro.core.system import PoolSystem
+from repro.events.event import Event
+from repro.events.generators import QueryWorkload, generate_events
+from repro.events.queries import RangeQuery
+from repro.exceptions import DimensionMismatchError
+from repro.network.messages import MessageCategory
+from repro.serve import (
+    PlanResultCache,
+    QueryService,
+    ServeRequest,
+    ServeSchedule,
+    SimClock,
+    build_schedule,
+)
+
+WORKLOAD = QueryWorkload(dimensions=3, kind="exact", range_sizes="uniform")
+
+
+@pytest.fixture
+def pool(net300):
+    system = PoolSystem(net300, 3, seed=11)
+    for event in generate_events(300, 3, seed=3, sources=list(net300.topology)):
+        system.insert(event)
+    yield system
+    system.close()
+
+
+def _repeat_schedule(query, times, sink=0):
+    """A hand-built schedule repeating one query at the given times."""
+    requests = tuple(
+        ServeRequest(request_id=i, time=t, sink=sink, query=query)
+        for i, t in enumerate(times)
+    )
+    return ServeSchedule(requests=requests, duration=max(times) + 1.0)
+
+
+class TestCaching:
+    def test_repeat_requests_hit_and_charge_nothing(self, pool):
+        query = RangeQuery.partial(3, {0: (0.2, 0.8)})
+        schedule = _repeat_schedule(query, [0.0, 1.0, 2.0, 3.0])
+        service = QueryService(pool, cache=PlanResultCache())
+        report = service.run(schedule)
+        service.close()
+        assert report.executed == 1
+        assert report.cache_hits == 3
+        assert report.hit_rate == 0.75
+        executed = report.served[0]
+        hits = report.served[1:]
+        assert executed.outcome == "executed" and executed.messages > 0
+        for hit in hits:
+            assert hit.outcome == "cache"
+            assert hit.messages == 0
+            assert hit.saved_messages == executed.messages
+            assert hit.matches == executed.matches
+        # The ledger only paid for the single real execution.
+        assert report.messages_total == executed.messages
+
+    def test_uncached_control_charges_every_request(self, pool):
+        query = RangeQuery.partial(3, {0: (0.2, 0.8)})
+        schedule = _repeat_schedule(query, [0.0, 1.0, 2.0, 3.0])
+        service = QueryService(pool)  # no cache, no window
+        report = service.run(schedule)
+        service.close()
+        assert report.cache_hits == 0 and report.coalesced == 0
+        assert report.executed == 4
+        per_request = {s.messages for s in report.served}
+        assert per_request == {report.served[0].messages}
+        assert report.messages_total == 4 * report.served[0].messages
+
+    def test_insert_between_requests_forces_reexecution(self, pool, net300):
+        query = RangeQuery.partial(3, {})  # covers every cell
+        cache = PlanResultCache()
+        clock = SimClock()
+        service = QueryService(pool, cache=cache, clock=clock)
+        first = service.run(_repeat_schedule(query, [0.0]))
+        assert first.executed == 1
+        pool.insert(Event.of(0.5, 0.5, 0.5, source=9))  # invalidates
+        second = service.run(
+            ServeSchedule(
+                requests=(
+                    ServeRequest(request_id=0, time=clock.now, sink=0, query=query),
+                ),
+                duration=1.0,
+            )
+        )
+        service.close()
+        assert second.executed == 1 and second.cache_hits == 0
+        assert second.served[0].matches == first.served[0].matches + 1
+
+
+class TestCoalescing:
+    def test_same_window_same_plan_executes_once(self, pool):
+        query = RangeQuery.partial(3, {1: (0.4, 0.6)})
+        schedule = _repeat_schedule(query, [0.0, 0.05, 0.1])
+        service = QueryService(pool, batch_window=0.5)  # no cache
+        report = service.run(schedule)
+        service.close()
+        assert report.executed == 1
+        assert report.coalesced == 2
+        leader, *members = report.served
+        assert leader.messages > 0
+        for member in members:
+            assert member.outcome == "coalesced"
+            assert member.messages == 0
+            assert member.saved_messages == leader.messages
+            assert member.matches == leader.matches
+        assert report.messages_total == leader.messages
+
+    def test_zero_window_never_coalesces(self, pool):
+        query = RangeQuery.partial(3, {1: (0.4, 0.6)})
+        schedule = _repeat_schedule(query, [0.0, 0.0, 0.0])
+        service = QueryService(pool, batch_window=0.0)
+        report = service.run(schedule)
+        service.close()
+        assert report.coalesced == 0 and report.executed == 3
+
+
+class TestTiming:
+    def test_latency_includes_queue_wait_and_round_trip(self, pool):
+        query = RangeQuery.partial(3, {0: (0.2, 0.8)})
+        schedule = _repeat_schedule(query, [0.0])
+        service = QueryService(pool, batch_window=0.4, hop_latency=0.01)
+        report = service.run(schedule)
+        service.close()
+        served = report.served[0]
+        expected = 0.4 + 2 * served.depth_hops * 0.01
+        assert served.latency_s == pytest.approx(expected)
+        assert served.served_at == pytest.approx(served.submitted_at + expected)
+
+    def test_clock_never_rewinds_across_batches(self, pool):
+        query = RangeQuery.partial(3, {0: (0.2, 0.8)})
+        clock = SimClock()
+        service = QueryService(pool, clock=clock, batch_window=0.1)
+        service.run(_repeat_schedule(query, [0.0, 1.0, 5.0]))
+        service.close()
+        assert clock.now == pytest.approx(5.1)
+
+    def test_report_aggregates(self, pool):
+        schedule = build_schedule(
+            workload=WORKLOAD,
+            sinks=(0,),
+            duration=10.0,
+            rate=2.0,
+            seed=5,
+            repeat_fraction=0.9,
+            unique_queries=3,
+        )
+        service = QueryService(pool, cache=PlanResultCache(), slo_target_s=10.0)
+        report = service.run(schedule)
+        service.close()
+        assert report.requests == len(schedule)
+        assert report.executed + report.cache_hits + report.coalesced == report.requests
+        assert report.cache_hits > 0
+        assert report.throughput == pytest.approx(report.requests / 10.0)
+        assert report.slo_attainment == 1.0  # generous target
+        payload = report.as_dict()
+        assert payload["requests"] == report.requests
+        assert len(payload["served"]) == report.requests
+        assert "served" not in report.as_dict(include_requests=False)
+
+
+class TestValidationAndTeardown:
+    def test_wrong_dimensionality_is_rejected(self, pool):
+        service = QueryService(pool)
+        with pytest.raises(DimensionMismatchError):
+            service.run(_repeat_schedule(RangeQuery.partial(2, {}), [0.0]))
+        service.close()
+
+    def test_negative_parameters_are_rejected(self, pool):
+        with pytest.raises(ValueError):
+            QueryService(pool, batch_window=-1.0)
+        with pytest.raises(ValueError):
+            QueryService(pool, hop_latency=-0.01)
+
+    def test_close_detaches_the_cache_listener(self, pool):
+        cache = PlanResultCache()
+        service = QueryService(pool, cache=cache)
+        assert len(pool.insert_listeners) == 1
+        service.close()
+        assert pool.insert_listeners == []
+        service.close()  # idempotent
+
+
+class TestListenerLeakRegressions:
+    """Insert hooks must not outlive their consumer (the PR-8 leak fix)."""
+
+    def test_continuous_service_close_stops_notifications(self, net300):
+        pool = PoolSystem(net300, 3, seed=11)
+        service = ContinuousQueryService(pool)
+        service.register(sink=0, query=RangeQuery.partial(3, {}))
+        before = net300.stats.count(MessageCategory.NOTIFY)
+        pool.insert(Event.of(0.5, 0.5, 0.5, source=3))
+        assert net300.stats.count(MessageCategory.NOTIFY) > before
+        service.close()
+        after_close = net300.stats.count(MessageCategory.NOTIFY)
+        pool.insert(Event.of(0.6, 0.6, 0.6, source=4))
+        assert net300.stats.count(MessageCategory.NOTIFY) == after_close
+        assert pool.insert_listeners == []
+        service.close()  # idempotent
+        pool.close()
+
+    def test_system_close_severs_surviving_hooks(self, net300):
+        pool = PoolSystem(net300, 3, seed=11)
+        ContinuousQueryService(pool)  # consumer that forgets to close
+        cache = PlanResultCache()
+        cache.attach(pool)
+        assert len(pool.insert_listeners) == 2
+        pool.close()
+        assert pool.insert_listeners == []
+        # Both consumers' own teardown stays safe afterwards.
+        cache.detach()

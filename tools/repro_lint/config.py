@@ -51,9 +51,11 @@ class Config:
     #: export order (the jobs-1-vs-N byte-equality surface).
     rep003_paths: tuple[str, ...] = (
         "src/repro/core/",
+        "src/repro/exec/",
         "src/repro/routing/",
         "src/repro/network/",
         "src/repro/obs/",
+        "src/repro/serve/",
         "src/repro/shard/",
         "src/repro/telemetry/",
     )

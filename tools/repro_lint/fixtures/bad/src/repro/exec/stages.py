@@ -1,0 +1,20 @@
+"""REP003 bad fixture: unordered iteration in the staged pipeline.
+
+Plan cell sets and destination sets feed multicast emission order —
+iterating them as bare sets breaks jobs-1-vs-N byte equality.
+"""
+
+from __future__ import annotations
+
+
+def execute(destinations: list[int], failed: frozenset[int]) -> None:
+    reachable = set(destinations) - failed
+    for node in reachable:  # expect: REP003
+        print("forward", node)
+
+
+def fold(cells_by_plan: list[set[str]]) -> list[str]:
+    merged: set[str] = set()
+    for cells in cells_by_plan:
+        merged |= cells
+    return list(merged)  # expect: REP003

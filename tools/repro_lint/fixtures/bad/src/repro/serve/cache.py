@@ -1,0 +1,28 @@
+"""REP003 bad fixture: unordered iteration in cache invalidation.
+
+Eviction order feeds the invalidation counters and any telemetry the
+cache emits; iterating bare sets makes it hash-order dependent.
+"""
+
+from __future__ import annotations
+
+
+def invalidate(by_cell: dict[str, set[int]], cell: str) -> int:
+    keys = set(by_cell.get(cell, ()))
+    dropped = 0
+    for key in keys:  # expect: REP003
+        print("evict", key)
+        dropped += 1
+    return dropped
+
+
+def store(entries: dict[int, str], cells: list[str]) -> None:
+    for cell in set(cells):  # expect: REP003
+        entries[len(entries)] = cell
+
+
+def attached_cells(plans: list[frozenset[str]]) -> list[str]:
+    touched: set[str] = set()
+    for plan_cells in plans:
+        touched.update(plan_cells)
+    return [cell for cell in touched]  # expect: REP003

@@ -1,0 +1,25 @@
+"""REP002 bad fixture: a serve clock that reads the wall clock.
+
+The serving layer's admission windows, latencies and SLO numbers must be
+simulated time — wall-clock reads here would make reports differ across
+machines and runs.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime
+
+
+class WallClock:
+    """A 'simulated' clock that cheats."""
+
+    def __init__(self) -> None:
+        self._start = time.time()  # expect: REP002
+
+    @property
+    def now(self) -> float:
+        return time.time() - self._start  # expect: REP002
+
+    def stamp_report(self) -> str:
+        return datetime.now().isoformat()  # expect: REP002

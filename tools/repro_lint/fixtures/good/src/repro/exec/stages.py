@@ -1,0 +1,17 @@
+"""REP003 good fixture: staged pipeline iteration with explicit order."""
+
+from __future__ import annotations
+
+
+def execute(destinations: list[int], failed: frozenset[int]) -> None:
+    for node in destinations:  # plan order, already deterministic
+        if node in failed:
+            continue
+        print("forward", node)
+
+
+def fold(cells_by_plan: list[set[str]]) -> list[str]:
+    merged: set[str] = set()
+    for cells in cells_by_plan:
+        merged |= cells
+    return sorted(merged)

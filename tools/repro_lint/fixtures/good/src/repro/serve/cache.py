@@ -1,0 +1,24 @@
+"""REP003 good fixture: cache invalidation with explicit ordering."""
+
+from __future__ import annotations
+
+
+def invalidate(by_cell: dict[str, set[int]], cell: str) -> int:
+    keys = by_cell.pop(cell, set())
+    dropped = 0
+    for key in sorted(keys):
+        print("evict", key)
+        dropped += 1
+    return dropped
+
+
+def store(entries: dict[int, str], cells: list[str]) -> None:
+    for cell in dict.fromkeys(cells):  # first-seen order, deduped
+        entries[len(entries)] = cell
+
+
+def attached_cells(plans: list[frozenset[str]]) -> list[str]:
+    touched: set[str] = set()
+    for plan_cells in plans:
+        touched.update(plan_cells)
+    return sorted(touched)

@@ -1,0 +1,31 @@
+"""REP002 good fixture: a serve clock on purely simulated time.
+
+``time.perf_counter`` is allowed everywhere (relative wall-clock
+profiling for ``*_seconds`` fields); absolute time never appears.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class SimulatedClock:
+    """Advances only when told; never consults the wall clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+
+def profile_batch(serve_one) -> float:
+    started = perf_counter()
+    serve_one()
+    return perf_counter() - started

@@ -162,7 +162,7 @@ def run_serve(
         size,
         radio_range=config.radio_range,
         target_degree=config.target_degree,
-        seed=derive(seed, "topology", size, 0),
+        seed=derive(seed, "serve-topology", size),
     )
     try:
         return _run_serve_systems(
@@ -211,7 +211,7 @@ def _run_serve_systems(
     sinks = _serve_sinks(deployment.topology, num_sinks)
     events = config.event_workload.generate(
         config.events_per_node * size,
-        seed=derive(seed, "events", size, 0),
+        seed=derive(seed, "serve-events", size),
         sources=list(deployment.topology),
     )
     schedule = build_schedule(

@@ -1,0 +1,46 @@
+"""The whole-program analyzer holds on the real tree, like CI runs it.
+
+Mirrors ``PYTHONPATH=tools python -m repro_lint --analyze src tests``:
+the committed baselines must match the tree exactly — a new finding
+fails (fix it or justify a baseline entry in the PR), and a stale entry
+fails too (the bug was fixed; regenerate with ``--update-baseline``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro_lint.analysis.engine import default_baseline_dir, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_analysis(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"],
+        baseline_dir=default_baseline_dir(),
+    )
+
+
+def test_no_broken_modules(result) -> None:
+    assert not result.broken, result.broken
+
+
+def test_no_new_findings(result) -> None:
+    rendered = "\n".join(v.render() for v in result.violations)
+    assert not result.violations, f"non-baselined findings:\n{rendered}"
+
+
+def test_no_stale_baseline_entries(result) -> None:
+    assert not result.stale, (
+        "stale baseline entries (run --update-baseline): "
+        f"{result.stale}"
+    )
+
+
+def test_analysis_is_green(result) -> None:
+    assert result.ok
+    assert result.files > 100  # the real tree, not an accidental subset

@@ -39,3 +39,74 @@ class TestCollectIgnores:
     def test_unterminated_source_yields_empty_map(self) -> None:
         ignores = collect_ignores("x = (1,\n")
         assert not ignores.skip_file
+
+
+class TestStatementSpans:
+    """Pragmas cover the whole statement they sit on, not just one line.
+
+    Regression: a pragma on a decorator line used to miss violations
+    anchored on the ``def`` line below it, and a pragma on the closing
+    line of a wrapped call missed the opening line the violation was
+    reported on.
+    """
+
+    def test_decorator_line_pragma_covers_def_line(self) -> None:
+        from repro_lint.checker import check_source
+
+        source = (
+            "import functools\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "@functools.lru_cache  # repro-lint: ignore[REP002]\n"
+            "def stamp(now: float = time.time()) -> float:\n"
+            "    return now\n"
+        )
+        assert check_source(source, "src/repro/clocky.py") == []
+        # Without the pragma the default-argument clock read is flagged
+        # on the def line — proving the span, not the rule, is at work.
+        bare = source.replace("  # repro-lint: ignore[REP002]", "")
+        violations = check_source(bare, "src/repro/clocky.py")
+        assert [(v.line, v.code) for v in violations] == [(6, "REP002")]
+
+    def test_pragma_on_closing_line_covers_opening_line(self) -> None:
+        from repro_lint.checker import check_source
+
+        source = (
+            "import time\n"
+            "\n"
+            "stamp = time.time(\n"
+            ")  # repro-lint: ignore[REP002]\n"
+        )
+        assert check_source(source, "src/repro/clocky.py") == []
+
+    def test_span_does_not_leak_into_function_body(self) -> None:
+        from repro_lint.checker import check_source
+
+        # A def-line pragma covers the header only; body violations on
+        # later lines still fire.
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp() -> float:  # repro-lint: ignore[REP002]\n"
+            "    return time.time()\n"
+        )
+        violations = check_source(source, "src/repro/clocky.py")
+        assert [(v.line, v.code) for v in violations] == [(5, "REP002")]
+
+    def test_statement_spans_helper(self) -> None:
+        import ast
+
+        from repro_lint.ignores import statement_spans
+
+        tree = ast.parse(
+            "@deco\n"          # 1
+            "def f(x=1):\n"    # 2
+            "    y = (x +\n"   # 3
+            "         1)\n"    # 4
+            "    return y\n"   # 5
+        )
+        spans = statement_spans(tree)
+        assert (1, 2) in spans  # decorator through def header
+        assert (3, 4) in spans  # the wrapped assignment

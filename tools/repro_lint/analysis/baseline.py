@@ -1,0 +1,100 @@
+"""Per-rule baseline suppression files.
+
+A baseline file (``tools/repro_lint/baselines/REP10x.txt``) holds one
+*fingerprint* per line for each accepted pre-existing finding.  The
+fingerprint is line-number-free — ``CODE path message`` with any
+``:123``-style numbers in the message scrubbed — so unrelated edits that
+shift a finding up or down the file don't churn the baseline, while
+moving it to another file (or fixing it) does.
+
+Matching is multiset-exact in both directions: an un-baselined finding
+fails the run, and a baseline entry with no live finding is reported as
+*stale* (also a failure) so suppressions can't outlive their reason.
+``--update-baseline`` rewrites the files from the current findings.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from pathlib import Path
+
+from repro_lint.rules import Violation
+
+__all__ = [
+    "fingerprint",
+    "load_baselines",
+    "apply_baselines",
+    "write_baselines",
+]
+
+_LINE_REF = re.compile(r":\d+")
+
+_HEADER = """\
+# repro-lint baseline for {code}.
+# One fingerprint per accepted pre-existing finding; regenerate with
+#   PYTHONPATH=tools python -m repro_lint --analyze --update-baseline
+"""
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable, line-number-free identity of a finding."""
+    message = _LINE_REF.sub(":*", violation.message)
+    return f"{violation.code} {violation.path} {message}"
+
+
+def load_baselines(directory: Path, codes: list[str]) -> dict[str, Counter]:
+    """``code -> fingerprint multiset`` from the per-rule files."""
+    baselines: dict[str, Counter] = {}
+    for code in codes:
+        counter: Counter = Counter()
+        path = directory / f"{code}.txt"
+        if path.is_file():
+            for line in path.read_text(encoding="utf-8").splitlines():
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    counter[line] += 1
+        baselines[code] = counter
+    return baselines
+
+
+def apply_baselines(
+    violations: list[Violation], baselines: dict[str, Counter]
+) -> tuple[list[Violation], int, list[str]]:
+    """Split findings into (new, suppressed-count, stale fingerprints)."""
+    remaining = {code: Counter(entries) for code, entries in baselines.items()}
+    kept: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        budget = remaining.get(violation.code)
+        key = fingerprint(violation)
+        if budget is not None and budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(violation)
+    stale = sorted(
+        key
+        for budget in remaining.values()
+        for key, count in budget.items()
+        if count > 0
+        for _ in range(count)
+    )
+    return kept, suppressed, stale
+
+
+def write_baselines(
+    directory: Path, violations: list[Violation], codes: list[str]
+) -> None:
+    """Rewrite every per-rule baseline file from the current findings."""
+    directory.mkdir(parents=True, exist_ok=True)
+    by_code: dict[str, list[str]] = {code: [] for code in codes}
+    for violation in violations:
+        if violation.code in by_code:
+            by_code[violation.code].append(fingerprint(violation))
+    for code, entries in by_code.items():
+        lines = [_HEADER.format(code=code)]
+        lines.extend(sorted(entries))
+        (directory / f"{code}.txt").write_text(
+            "\n".join(lines).rstrip("\n") + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,205 @@
+"""Bounded interprocedural constant propagation.
+
+REP102 needs to know, for every ``derive(seed, ...)`` call site, which
+*constant values* each key component can take — including components
+passed in as parameters from other functions.  This module computes a
+small abstract value per expression:
+
+* :data:`TOP` — unknown / arbitrary (a loop variable, an attribute read,
+  anything we don't model), or
+* a ``frozenset`` of concrete constants, capped at :data:`MAX_CONSTS`
+  values (beyond the cap the value degrades to :data:`TOP` — precision
+  is only useful while the set is small enough to reason about).
+
+Parameter values are seeded from every *strong* call edge in the graph
+and iterated to a fixpoint (bounded — the lattice is finite because sets
+are capped, but we also cap rounds defensively).  ``*args``/``**kwargs``
+at a call site poison all of the callee's parameters to TOP, since
+positional alignment is no longer knowable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro_lint.analysis.callgraph import CallGraph, FunctionInfo
+
+__all__ = ["TOP", "AbstractValue", "ConstEnv", "propagate_constants"]
+
+
+class _Top:
+    """Singleton lattice top: value not known to be constant."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "TOP"
+
+
+TOP = _Top()
+
+#: A value is TOP or a (small) set of Python constants.
+AbstractValue = Union[_Top, frozenset]
+
+#: Constant sets larger than this degrade to TOP.
+MAX_CONSTS = 8
+
+#: Fixpoint round cap; the capped lattice converges long before this.
+MAX_ROUNDS = 12
+
+
+def _join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if isinstance(a, _Top) or isinstance(b, _Top):
+        return TOP
+    merged = a | b
+    if len(merged) > MAX_CONSTS:
+        return TOP
+    return merged
+
+
+class ConstEnv:
+    """Computed constant sets for every function parameter."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        #: func qualname -> param name -> abstract value.  A parameter
+        #: with no entry was never seen at a resolved call site; treat
+        #: it as TOP (callers outside the analyzed tree may exist).
+        self.params: dict[str, dict[str, AbstractValue]] = {}
+
+    def param_value(self, qualname: str, param: str) -> AbstractValue:
+        return self.params.get(qualname, {}).get(param, TOP)
+
+    # ------------------------------------------------------------------ #
+
+    def eval_expr(self, func: FunctionInfo, expr: ast.expr) -> AbstractValue:
+        """Abstract value of ``expr`` evaluated inside ``func``."""
+        if isinstance(expr, ast.Constant):
+            value = expr.value
+            try:
+                return frozenset({value})
+            except TypeError:  # unhashable constant (can't happen for literals)
+                return TOP
+        if isinstance(expr, ast.Name):
+            if expr.id in func.params:
+                return self.param_value(func.qualname, expr.id)
+            return self._local_value(func, expr.id)
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+            inner = self.eval_expr(func, expr.operand)
+            if isinstance(inner, _Top):
+                return TOP
+            try:
+                return frozenset({-v for v in inner})
+            except TypeError:
+                return TOP
+        if isinstance(expr, ast.JoinedStr):
+            # f-string with only constant parts is a constant
+            if all(isinstance(v, ast.Constant) for v in expr.values):
+                return frozenset(
+                    {"".join(str(v.value) for v in expr.values)}  # type: ignore[attr-defined]
+                )
+            return TOP
+        return TOP
+
+    def _local_value(self, func: FunctionInfo, name: str) -> AbstractValue:
+        """Join of all simple assignments ``name = <expr>`` in the body.
+
+        Single-assignment constants resolve precisely; reassignment in a
+        loop joins every RHS, which over-approximates but never invents
+        a constant the name can't hold (RHSs we can't evaluate are TOP).
+        """
+        found: AbstractValue | None = None
+        for node in ast.walk(func.node):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+                value = None  # loop variable: unknowable here
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], None
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name) and leaf.id == name:
+                        rhs = TOP if value is None else self.eval_expr(func, value)
+                        found = rhs if found is None else _join(found, rhs)
+        # Module-level constant (UPPER_CASE = "literal") as a fallback.
+        if found is None:
+            found = self._module_constant(func, name)
+        return found if found is not None else TOP
+
+    def _module_constant(self, func: FunctionInfo, name: str) -> AbstractValue | None:
+        module = self.graph.project.modules.get(func.module)
+        if module is None:
+            return None
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id == name:
+                    if isinstance(node.value, ast.Constant):
+                        try:
+                            return frozenset({node.value.value})
+                        except TypeError:
+                            return TOP
+                    return TOP
+        return None
+
+
+def _bind_args(
+    env: ConstEnv,
+    caller: FunctionInfo,
+    call: ast.Call,
+    callee: FunctionInfo,
+) -> dict[str, AbstractValue]:
+    """Abstract values for ``callee``'s params at this call site."""
+    params = callee.params
+    bound: dict[str, AbstractValue] = {}
+    if any(isinstance(a, ast.Starred) for a in call.args) or any(
+        kw.arg is None for kw in call.keywords
+    ):
+        return {p: TOP for p in params}
+    # Skip `self` for method calls through an attribute receiver.
+    offset = 0
+    if callee.cls is not None and params and params[0] in ("self", "cls"):
+        bound[params[0]] = TOP
+        offset = 1
+    for index, arg in enumerate(call.args):
+        slot = index + offset
+        if slot >= len(params):
+            break  # lands in *args — not modeled
+        bound[params[slot]] = env.eval_expr(caller, arg)
+    for kw in call.keywords:
+        if kw.arg in params:
+            bound[kw.arg] = env.eval_expr(caller, kw.value)
+    return bound
+
+
+def propagate_constants(graph: CallGraph) -> ConstEnv:
+    """Fixpoint of parameter constant sets over strong call edges."""
+    env = ConstEnv(graph)
+    for _ in range(MAX_ROUNDS):
+        changed = False
+        for caller_qual, sites in graph.calls.items():
+            caller = graph.functions.get(caller_qual)
+            if caller is None:
+                continue
+            for site in sites:
+                if site.weak:
+                    continue
+                for callee_qual in site.callees:
+                    callee = graph.functions.get(callee_qual)
+                    if callee is None:
+                        continue
+                    bound = _bind_args(env, caller, site.node, callee)
+                    slot = env.params.setdefault(callee_qual, {})
+                    for param, value in bound.items():
+                        old = slot.get(param)
+                        new = value if old is None else _join(old, value)
+                        if new is not old and new != old:
+                            slot[param] = new
+                            changed = True
+        if not changed:
+            break
+    return env

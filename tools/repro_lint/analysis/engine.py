@@ -1,0 +1,188 @@
+"""The whole-program analysis driver: load, build, run, suppress.
+
+:func:`run_analysis` is what the CLI's ``--analyze`` mode and the test
+suite call.  It loads the project (with an optional pickle cache of the
+parsed ASTs + call graph + constant-propagation results, keyed on a
+digest of every source file), runs the REP10x rules, filters
+``# repro-lint: ignore`` directives with full statement-span semantics,
+and finally applies the per-rule baseline files.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro_lint.analysis.baseline import (
+    apply_baselines,
+    load_baselines,
+    write_baselines,
+)
+from repro_lint.analysis.callgraph import CallGraph, build_callgraph
+from repro_lint.analysis.constprop import ConstEnv, propagate_constants
+from repro_lint.analysis.project import (
+    Project,
+    _CACHE_VERSION,
+    _discover,
+    _source_digest,
+    load_project,
+)
+from repro_lint.analysis.rules import ANALYSIS_RULES, AnalysisContext
+from repro_lint.config import Config
+from repro_lint.ignores import span_ignored, statement_spans
+from repro_lint.rules import Violation
+
+__all__ = ["AnalysisResult", "run_analysis", "default_baseline_dir"]
+
+
+def default_baseline_dir() -> Path:
+    """The committed per-rule baseline files, next to this package."""
+    return Path(__file__).resolve().parent.parent / "baselines"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one ``--analyze`` run produced."""
+
+    #: Findings that survive ignores *and* the baseline — these fail CI.
+    violations: list[Violation] = field(default_factory=list)
+    #: Findings that survive ignores, before baseline suppression —
+    #: what ``--update-baseline`` writes and what the SARIF export shows.
+    all_findings: list[Violation] = field(default_factory=list)
+    #: How many findings the baseline suppressed.
+    suppressed: int = 0
+    #: Baseline fingerprints with no matching live finding (stale).
+    stale: list[str] = field(default_factory=list)
+    files: int = 0
+    #: Unparsable files: ``path -> message``.
+    broken: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.stale and not self.broken
+
+
+def _prepare(
+    roots: list[str | Path], cache_dir: Path | None
+) -> tuple[Project, CallGraph, ConstEnv]:
+    """Project + call graph + constants, via the source-digest cache.
+
+    The whole prepared bundle is pickled together so a cache hit skips
+    parsing *and* graph construction — the two costs the CI budget cares
+    about.  Any source edit anywhere changes the digest and rebuilds
+    everything (the graph is global; partial reuse would be unsound).
+    """
+    cache_file: Path | None = None
+    if cache_dir is not None:
+        pairs = _discover([Path(r) for r in roots])
+        sources: list[tuple[Path, str]] = []
+        for path, _root in pairs:
+            try:
+                sources.append((path, path.read_text(encoding="utf-8")))
+            except (OSError, UnicodeDecodeError):
+                sources.append((path, ""))
+        digest = _source_digest(sources)
+        cache_file = Path(cache_dir) / f"analysis-{_CACHE_VERSION}-{digest[:32]}.pickle"
+        if cache_file.is_file():
+            try:
+                with open(cache_file, "rb") as handle:
+                    cached = pickle.load(handle)
+                if (
+                    isinstance(cached, tuple)
+                    and len(cached) == 3
+                    and isinstance(cached[0], Project)
+                ):
+                    return cached
+            except Exception:
+                pass  # corrupt cache: rebuild
+    project = load_project(roots)
+    graph = build_callgraph(project)
+    consts = propagate_constants(graph)
+    if cache_file is not None:
+        try:
+            cache_file.parent.mkdir(parents=True, exist_ok=True)
+            with open(cache_file, "wb") as handle:
+                pickle.dump(
+                    (project, graph, consts),
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        except Exception:
+            pass  # best-effort; never fail the analysis over the cache
+    return project, graph, consts
+
+
+def _filter_ignores(
+    project: Project, violations: list[Violation]
+) -> list[Violation]:
+    spans_by_path: dict[str, tuple] = {}
+    kept: list[Violation] = []
+    for violation in violations:
+        module = project.module_for_path(violation.path)
+        if module is None:
+            kept.append(violation)
+            continue
+        if module.ignores.skip_file:
+            continue
+        if violation.path not in spans_by_path:
+            spans_by_path[violation.path] = (
+                module.ignores,
+                statement_spans(module.tree) if module.ignores.lines else [],
+            )
+        ignores, spans = spans_by_path[violation.path]
+        if not span_ignored(ignores, spans, violation.line, violation.code):
+            kept.append(violation)
+    return kept
+
+
+def run_analysis(
+    paths: list[str | Path],
+    config: Config | None = None,
+    *,
+    select: frozenset[str] | None = None,
+    cache_dir: str | Path | None = None,
+    baseline_dir: str | Path | None = None,
+    update_baseline: bool = False,
+) -> AnalysisResult:
+    """Run the REP10x whole-program rules over ``paths``.
+
+    ``baseline_dir=None`` disables baseline handling entirely (fixture
+    runs); ``update_baseline=True`` rewrites the baseline files from the
+    current findings instead of comparing against them.
+    """
+    config = config if config is not None else Config()
+    project, graph, consts = _prepare(
+        list(paths), Path(cache_dir) if cache_dir is not None else None
+    )
+    ctx = AnalysisContext(
+        project=project, graph=graph, consts=consts, config=config
+    )
+    findings: list[Violation] = []
+    codes = sorted(ANALYSIS_RULES)
+    for code in codes:
+        if select is not None and code not in select:
+            continue
+        findings.extend(ANALYSIS_RULES[code](ctx))
+    findings = _filter_ignores(project, findings)
+    findings.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+
+    result = AnalysisResult(
+        all_findings=findings,
+        files=len(project.modules),
+        broken=dict(project.broken),
+    )
+    if baseline_dir is None:
+        result.violations = findings
+        return result
+    directory = Path(baseline_dir)
+    active = codes if select is None else [c for c in codes if c in select]
+    if update_baseline:
+        write_baselines(directory, findings, active)
+        result.suppressed = len(findings)
+        return result
+    baselines = load_baselines(directory, active)
+    result.violations, result.suppressed, result.stale = apply_baselines(
+        findings, baselines
+    )
+    return result

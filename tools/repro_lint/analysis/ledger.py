@@ -1,0 +1,593 @@
+"""REP101 — ledger conservation for computed hop paths.
+
+The paper's cost metric is "messages charged to the ledger", so every
+hop path the router computes must be charged **exactly once**:
+
+* ``router.path(...)`` / ``router.path_to_point(...)`` produce an
+  *uncharged* path — some charge sink (``stats.record_path``,
+  ``network.send_along``, ``reliability.send_path``) must consume it;
+* ``network.unicast(...)`` / ``unicast_to_point(...)`` return a path
+  that was *already charged* inside the facade — charging it again
+  double-counts the message.
+
+The check is interprocedural: a helper that takes a path parameter and
+charges it contributes a *summary* (charges 0 / once / twice+, and
+whether the charge passes the path through verbatim), so charging
+through a helper is credited and double-charging through one is caught.
+
+Precision rules of the road:
+
+* Two charges in exclusive branches (``if``/``else``, ``try``/``except``
+  arms, ``match`` cases) count as one.
+* A charge inside a loop the path was computed *outside of* counts as
+  two (it may repeat).
+* Charging a *derived* value (``list(reversed(path))`` — a reply leg)
+  is a genuine new message: it satisfies "charged at least once" but is
+  never reported as a double charge.  Only charging the same name twice
+  is.
+* A path that escapes (returned, stored on an object, passed to an
+  unresolvable callee) might be charged elsewhere — no "never charged"
+  report for it.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from dataclasses import dataclass, field
+
+from repro_lint.analysis.callgraph import CallGraph, CallSite, FunctionInfo
+from repro_lint.config import Config, path_matches
+from repro_lint.rules import Violation
+
+__all__ = ["check_ledger_conservation"]
+
+#: Attribute-call names that charge their path argument to the ledger.
+CHARGE_SINKS = frozenset({"record_path", "send_along", "send_path"})
+
+#: Attribute-call names that *produce* an uncharged hop path.
+PRODUCERS = frozenset({"path", "path_to_point"})
+
+#: Attribute-call names that return a path already charged internally.
+PRECHARGED = frozenset({"unicast", "unicast_to_point"})
+
+#: Builtins that pass the path *sequence* through (aliases / derived
+#: sequences): charging their result still charges hops of the path.
+_SEQ_BUILTINS = frozenset(
+    {"reversed", "list", "tuple", "sorted", "iter"}
+)
+
+#: Builtins that reduce the path to a scalar — the value flowing onward
+#: is hop arithmetic, not the path itself.
+_SCALAR_BUILTINS = frozenset({"len", "sum", "min", "max", "enumerate", "zip"})
+
+
+@dataclass
+class _Event:
+    """One use of a tracked path value."""
+
+    kind: str  # "charge" | "escape"
+    node: ast.AST
+    direct: bool = True  # the argument is the path name itself
+    count: int = 1  # 2 when the charge sits in a loop the value predates
+    branch: tuple[tuple[int, int], ...] = ()  # (ctrl id, arm) ancestry
+
+
+@dataclass
+class _Summary:
+    """How a function treats one of its parameters."""
+
+    charges: int = 0  # 0 never, 1 once, 2 twice-or-more
+    direct: bool = False  # some charge passes the value through verbatim
+    escapes: bool = False
+
+
+@dataclass
+class _Tracked:
+    """One path value inside a function: its names and where it came from."""
+
+    names: set[str]
+    origin: ast.AST | None  # producer call (None for a parameter)
+    origin_line: int
+    precharged: bool
+    origin_loops: frozenset[int] = field(default_factory=frozenset)
+
+
+def _parent_map(root: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _in_subtree(node: ast.AST, roots: list[ast.stmt]) -> bool:
+    targets = {id(n) for r in roots for n in ast.walk(r)}
+    return id(node) in targets
+
+
+def _context(
+    node: ast.AST, parents: dict[int, ast.AST], stop: ast.AST
+) -> tuple[tuple[tuple[int, int], ...], frozenset[int]]:
+    """Branch signature and enclosing-loop ids of ``node`` below ``stop``."""
+    branch: list[tuple[int, int]] = []
+    loops: set[int] = set()
+    current: ast.AST | None = node
+    while current is not None and current is not stop:
+        parent = parents.get(id(current))
+        if parent is None or parent is stop:
+            break
+        if isinstance(parent, ast.If):
+            arm = 0 if _in_subtree(current, parent.body) else 1
+            branch.append((id(parent), arm))
+        elif isinstance(parent, ast.Try):
+            if _in_subtree(current, parent.body) or _in_subtree(
+                current, parent.orelse
+            ):
+                branch.append((id(parent), 0))
+            else:
+                for index, handler in enumerate(parent.handlers):
+                    if _in_subtree(current, handler.body):
+                        branch.append((id(parent), 1 + index))
+                        break
+                # finalbody runs on every path: no branch entry.
+        elif isinstance(parent, ast.Match):
+            for index, case in enumerate(parent.cases):
+                if _in_subtree(current, case.body):
+                    branch.append((id(parent), index))
+                    break
+        elif isinstance(parent, (ast.For, ast.AsyncFor, ast.While)):
+            if _in_subtree(current, parent.body):
+                loops.add(id(parent))
+        current = parent
+    return tuple(branch), frozenset(loops)
+
+
+def _compatible(a: _Event, b: _Event) -> bool:
+    """False when the two events sit in exclusive branch arms."""
+    arms_a = dict(a.branch)
+    for ctrl, arm in b.branch:
+        if ctrl in arms_a and arms_a[ctrl] != arm:
+            return False
+    return True
+
+
+def _max_charge(events: list[_Event]) -> tuple[int, list[_Event]]:
+    """Largest total count over a mutually compatible subset of charges."""
+    charges = [e for e in events if e.kind == "charge"][:12]
+    best, best_set = 0, []
+    for mask in range(1, 1 << len(charges)):
+        combo = [e for i, e in enumerate(charges) if mask & (1 << i)]
+        if all(_compatible(x, y) for x, y in itertools.combinations(combo, 2)):
+            total = sum(e.count for e in combo)
+            if total > best:
+                best, best_set = total, sorted(
+                    combo, key=lambda e: getattr(e.node, "lineno", 0)
+                )
+    return best, best_set
+
+
+def _binding_names(target: ast.expr) -> list[str]:
+    """Names an assignment target binds (attribute stores bind nothing)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return [n for e in target.elts for n in _binding_names(e)]
+    if isinstance(target, ast.Starred):
+        return _binding_names(target.value)
+    return []
+
+
+def _assignment_counts(func: FunctionInfo) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for node in ast.walk(func.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = [node.target]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            targets = [
+                item.optional_vars
+                for item in node.items
+                if item.optional_vars is not None
+            ]
+        for target in targets:
+            for name in _binding_names(target):
+                counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _producer_kind(value: ast.expr) -> str | None:
+    """'uncharged' / 'precharged' when ``value`` is a producer call."""
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+        if value.func.attr in PRODUCERS:
+            return "uncharged"
+        if value.func.attr in PRECHARGED:
+            return "precharged"
+    return None
+
+
+def _collect_tracked(
+    func: FunctionInfo,
+    parents: dict[int, ast.AST],
+    assignment_counts: dict[str, int],
+) -> list[_Tracked]:
+    """Path values born in this function, with single-assignment names only."""
+    tracked: list[_Tracked] = []
+    for node in ast.walk(func.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        kind = _producer_kind(node.value)
+        if kind is None:
+            continue
+        target = node.targets[0]
+        name: str | None = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif (
+            isinstance(target, ast.Tuple)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "unicast_to_point"
+            and len(target.elts) == 2
+            and isinstance(target.elts[1], ast.Name)
+        ):
+            name = target.elts[1].id  # (home_node, path) unpacking
+        if name is None or assignment_counts.get(name, 0) != 1:
+            continue
+        _, loops = _context(node, parents, func.node)
+        tracked.append(
+            _Tracked(
+                names={name},
+                origin=node.value,
+                origin_line=node.lineno,
+                precharged=(kind == "precharged"),
+                origin_loops=loops,
+            )
+        )
+    return tracked
+
+
+def _extend_aliases(
+    func: FunctionInfo, tracked: _Tracked, assignment_counts: dict[str, int]
+) -> None:
+    """Follow ``q = p`` and ``q = list(reversed(p))``-style rebindings."""
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func.node):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                continue
+            target = node.targets[0].id
+            if target in tracked.names or assignment_counts.get(target, 0) != 1:
+                continue
+            value = node.value
+            # Unwrap nested read-builtin calls: list(reversed(p)) -> p.
+            while (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _SEQ_BUILTINS
+                and len(value.args) == 1
+                and not value.keywords
+            ):
+                value = value.args[0]
+            if isinstance(value, ast.Name) and value.id in tracked.names:
+                tracked.names.add(target)
+                changed = True
+
+
+def _callsite_index(graph: CallGraph, func: FunctionInfo) -> dict[int, CallSite]:
+    return {id(site.node): site for site in graph.calls.get(func.qualname, [])}
+
+
+def _param_for_arg(
+    call: ast.Call, callee: FunctionInfo, arg: ast.expr
+) -> str | None:
+    params = callee.params
+    offset = 1 if callee.cls is not None and params[:1] in (["self"], ["cls"]) else 0
+    for index, candidate in enumerate(call.args):
+        if candidate is arg:
+            slot = index + offset
+            return params[slot] if slot < len(params) else None
+    for keyword in call.keywords:
+        if (keyword.value is arg or keyword is arg) and keyword.arg is not None:
+            return keyword.arg if keyword.arg in params else None
+    return None
+
+
+def _classify_uses(
+    func: FunctionInfo,
+    tracked: _Tracked,
+    parents: dict[int, ast.AST],
+    graph: CallGraph,
+    sites: dict[int, CallSite],
+    summaries: dict[str, dict[str, _Summary]],
+) -> list[_Event]:
+    """Every use of the tracked value, as charge/escape events."""
+    events: list[_Event] = []
+    for node in ast.walk(func.node):
+        if not (isinstance(node, ast.Name) and node.id in tracked.names):
+            continue
+        if isinstance(node.ctx, ast.Store):
+            continue  # the producer / alias assignments themselves
+        if (
+            tracked.origin is not None
+            and getattr(node, "lineno", 0) < tracked.origin_line
+        ):
+            continue
+        event = _classify_one(
+            func, tracked, node, parents, graph, sites, summaries
+        )
+        if event is not None:
+            branch, loops = _context(node, parents, func.node)
+            event.branch = branch
+            if event.kind == "charge" and loops - tracked.origin_loops:
+                event.count = 2
+            events.append(event)
+    return events
+
+
+def _classify_one(
+    func: FunctionInfo,
+    tracked: _Tracked,
+    name: ast.Name,
+    parents: dict[int, ast.AST],
+    graph: CallGraph,
+    sites: dict[int, CallSite],
+    summaries: dict[str, dict[str, _Summary]],
+) -> _Event | None:
+    """Walk outward from one Name use and decide what happens to it."""
+    node: ast.AST = name
+    direct = True
+    while True:
+        parent = parents.get(id(node))
+        if parent is None:
+            return None
+        if isinstance(parent, ast.Call):
+            if node is parent.func:
+                return _Event("escape", name)  # path(...) — calling it?!
+            if isinstance(parent.func, ast.Attribute):
+                receiver = parent.func.value
+                if receiver is node:
+                    return None  # p.count(x) — reading the path
+                if parent.func.attr in CHARGE_SINKS:
+                    return _Event("charge", parent, direct=direct)
+                if parent.func.attr in PRODUCERS | PRECHARGED:
+                    return None  # p as src/dst argument to routing: a read
+            if isinstance(parent.func, ast.Name):
+                if parent.func.id in _SCALAR_BUILTINS:
+                    return None  # len(p) etc: hop arithmetic, a read
+                if parent.func.id in _SEQ_BUILTINS:
+                    node = parent
+                    direct = False
+                    continue  # flow onward through reversed()/list()
+            site = sites.get(id(parent))
+            if site is not None and not site.weak:
+                return _summary_event(parent, node, site, graph, summaries, direct)
+            return _Event("escape", name)
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return _Event("escape", name)
+        if isinstance(parent, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                parent.targets
+                if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return _Event("escape", name)  # stored on an object
+            return None  # alias assignment (handled) or overwrite
+        if isinstance(
+            parent,
+            (ast.Dict, ast.List, ast.Tuple, ast.Set, ast.ListComp, ast.SetComp,
+             ast.DictComp, ast.GeneratorExp, ast.Lambda, ast.Starred, ast.Await),
+        ):
+            return _Event("escape", name)
+        if isinstance(parent, (ast.expr, ast.keyword, ast.comprehension)):
+            node = parent
+            direct = False
+            continue  # subscripts, slices, comparisons, f-strings: reads
+        return None  # reached a statement: a bare read expression
+
+
+def _summary_event(
+    call: ast.Call,
+    arg: ast.AST,
+    site: CallSite,
+    graph: CallGraph,
+    summaries: dict[str, dict[str, _Summary]],
+    direct: bool,
+) -> _Event | None:
+    """Interpret passing the path to a function we have a summary for."""
+    # The argument expression the path flowed into:
+    top_arg: ast.AST = arg
+    charges = 0
+    passes_direct = False
+    escapes = False
+    known = False
+    for callee_qual in site.callees:
+        callee = graph.functions.get(callee_qual)
+        if callee is None:
+            continue
+        param = _param_for_arg(call, callee, top_arg)  # type: ignore[arg-type]
+        if param is None:
+            escapes = True  # lands in *args or unmatched slot
+            known = True
+            continue
+        summary = summaries.get(callee_qual, {}).get(param, _Summary())
+        known = True
+        charges = max(charges, summary.charges)
+        passes_direct = passes_direct or summary.direct
+        escapes = escapes or summary.escapes
+    if not known:
+        return _Event("escape", call)
+    if charges >= 2:
+        return _Event("charge", call, direct=direct and passes_direct, count=2)
+    if charges == 1:
+        return _Event("charge", call, direct=direct and passes_direct)
+    if escapes:
+        return _Event("escape", call)
+    return None  # known never-charge, never-escape helper: a read
+
+
+def _param_events(
+    func: FunctionInfo,
+    param: str,
+    parents: dict[int, ast.AST],
+    graph: CallGraph,
+    sites: dict[int, CallSite],
+    summaries: dict[str, dict[str, _Summary]],
+    assignment_counts: dict[str, int],
+) -> list[_Event] | None:
+    """Charge/escape events for a parameter value (None when untrackable)."""
+    if assignment_counts.get(param, 0) > 0:
+        return None  # rebound inside the body: give up, stay silent
+    tracked = _Tracked(
+        names={param}, origin=None, origin_line=0, precharged=False
+    )
+    _extend_aliases(func, tracked, assignment_counts)
+    return _classify_uses(func, tracked, parents, graph, sites, summaries)
+
+
+def _compute_summaries(graph: CallGraph) -> dict[str, dict[str, _Summary]]:
+    summaries: dict[str, dict[str, _Summary]] = {}
+    for _ in range(4):  # helper-through-helper chains converge fast
+        changed = False
+        for func in graph.functions.values():
+            parents = _parent_map(func.node)
+            counts = _assignment_counts(func)
+            sites = _callsite_index(graph, func)
+            slot = summaries.setdefault(func.qualname, {})
+            for param in func.params:
+                if param in ("self", "cls"):
+                    continue
+                events = _param_events(
+                    func, param, parents, graph, sites, summaries, counts
+                )
+                if events is None:
+                    new = _Summary(escapes=True)
+                else:
+                    total, chosen = _max_charge(events)
+                    new = _Summary(
+                        charges=min(total, 2),
+                        direct=any(e.direct for e in chosen),
+                        escapes=any(e.kind == "escape" for e in events),
+                    )
+                if slot.get(param) != new:
+                    slot[param] = new
+                    changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def check_ledger_conservation(ctx) -> list[Violation]:
+    """REP101: every computed hop path is charged exactly once."""
+    graph: CallGraph = ctx.graph
+    config: Config = ctx.config
+    summaries = _compute_summaries(graph)
+    violations: list[Violation] = []
+    for func in graph.functions.values():
+        if not path_matches(func.path, config.rep101_paths):
+            continue
+        if path_matches(func.path, config.rep101_allow):
+            continue
+        parents = _parent_map(func.node)
+        counts = _assignment_counts(func)
+        sites = _callsite_index(graph, func)
+        for tracked in _collect_tracked(func, parents, counts):
+            _extend_aliases(func, tracked, counts)
+            events = _classify_uses(
+                func, tracked, parents, graph, sites, summaries
+            )
+            violations.extend(
+                _judge(func, tracked, events)
+            )
+        # Parameters charged more than once inside this function.
+        for param in func.params:
+            if param in ("self", "cls"):
+                continue
+            events = _param_events(
+                func, param, parents, graph, sites, summaries, counts
+            )
+            if events is None:
+                continue
+            direct_events = [
+                e for e in events if e.kind == "charge" and e.direct
+            ]
+            total, chosen = _max_charge(direct_events)
+            if total >= 2 and len(chosen) >= 2:
+                anchor = chosen[1].node
+                violations.append(
+                    Violation(
+                        func.path,
+                        getattr(anchor, "lineno", func.node.lineno),
+                        getattr(anchor, "col_offset", 0),
+                        "REP101",
+                        f"path parameter '{param}' of {func.name}() is "
+                        "charged to the ledger more than once on the same "
+                        "control-flow path",
+                    )
+                )
+    return violations
+
+
+def _judge(
+    func: FunctionInfo, tracked: _Tracked, events: list[_Event]
+) -> list[Violation]:
+    name = sorted(tracked.names)[0]
+    origin = tracked.origin
+    assert origin is not None
+    line = getattr(origin, "lineno", tracked.origin_line)
+    col = getattr(origin, "col_offset", 0)
+    escaped = any(e.kind == "escape" for e in events)
+    total, chosen = _max_charge(events)
+    out: list[Violation] = []
+    if tracked.precharged:
+        direct = [e for e in chosen if e.direct]
+        if direct:
+            anchor = direct[0].node
+            out.append(
+                Violation(
+                    func.path,
+                    getattr(anchor, "lineno", line),
+                    getattr(anchor, "col_offset", 0),
+                    "REP101",
+                    f"path '{name}' returned by unicast is already charged; "
+                    "charging it again double-counts the message",
+                )
+            )
+        return out
+    if total == 0 and not escaped:
+        out.append(
+            Violation(
+                func.path,
+                line,
+                col,
+                "REP101",
+                f"path '{name}' computed by the router is never charged "
+                "to the message ledger",
+            )
+        )
+    elif total >= 2:
+        direct = [e for e in chosen if e.direct]
+        if len(direct) >= 2 or (direct and any(e.count >= 2 for e in direct)):
+            anchor = direct[-1].node
+            out.append(
+                Violation(
+                    func.path,
+                    getattr(anchor, "lineno", line),
+                    getattr(anchor, "col_offset", 0),
+                    "REP101",
+                    f"path '{name}' is charged to the ledger more than once "
+                    "on the same control-flow path",
+                )
+            )
+    return out

@@ -1,0 +1,176 @@
+"""Project loading: every module parsed once, with an on-disk cache.
+
+A :class:`Project` is the unit the interprocedural rules analyze — a set
+of parsed modules with stable dotted names.  Module names are derived
+from the file layout: a leading ``src/`` component is stripped (the
+import root of this repository), ``__init__.py`` names the package, and
+everything else maps path components to dots, so
+``src/repro/network/network.py`` loads as ``repro.network.network``.
+
+Parsing plus call-graph construction is cheap (a couple of seconds for
+this tree) but CI budgets are tight, so :func:`load_project` keeps a
+pickle cache keyed on a digest of every source file's content: an
+unchanged tree re-loads from one file read per module plus one pickle;
+any edit anywhere invalidates the whole cache (correctness first — the
+call graph is global).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from repro_lint.ignores import IgnoreMap, collect_ignores
+
+__all__ = ["ModuleInfo", "Project", "load_project", "module_name_for"]
+
+#: Bump when the pickled layout changes; stale caches are then rebuilt.
+_CACHE_VERSION = 1
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module."""
+
+    path: str  # as reported in violations (posix, relative to invocation)
+    name: str  # dotted module name, e.g. "repro.network.network"
+    source: str
+    tree: ast.Module
+    ignores: IgnoreMap = field(default_factory=IgnoreMap)
+
+
+@dataclass
+class Project:
+    """All modules under the analyzed roots, keyed by dotted name."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    #: Files that failed to parse: ``path -> message`` (reported, skipped).
+    broken: dict[str, str] = field(default_factory=dict)
+
+    def module_for_path(self, path: str) -> ModuleInfo | None:
+        posix = PurePosixPath(path).as_posix()
+        for module in self.modules.values():
+            if module.path == posix:
+                return module
+        return None
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the analyzed ``root``.
+
+    The repository's import roots (``src``, ``tools``) are stripped when
+    they lead the relative path, matching how the code is imported.
+    """
+    rel = path.relative_to(root) if root != path else Path(path.name)
+    parts = list(rel.parts)
+    if parts and parts[0] in ("src", "tools"):
+        parts = parts[1:]
+    if not parts:
+        parts = [path.stem]
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1].removesuffix(".py")
+    return ".".join(parts) if parts else path.stem
+
+
+def _source_digest(files: list[tuple[Path, str]]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(f"repro-lint-analysis/{_CACHE_VERSION}".encode())
+    for path, source in files:
+        hasher.update(PurePosixPath(path).as_posix().encode())
+        hasher.update(b"\0")
+        hasher.update(source.encode("utf-8", "replace"))
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+def _discover(roots: list[Path]) -> list[tuple[Path, Path]]:
+    """``(file, root)`` pairs for every ``.py`` file under ``roots``."""
+    skip = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache"}
+    found: list[tuple[Path, Path]] = []
+    for root in roots:
+        if root.is_file():
+            found.append((root, root.parent))
+        elif root.is_dir():
+            for candidate in sorted(root.rglob("*.py")):
+                if not (skip & set(candidate.parts)):
+                    found.append((candidate, root))
+    return found
+
+
+def load_project(
+    roots: list[str | Path],
+    *,
+    cache_dir: str | Path | None = None,
+) -> Project:
+    """Parse every module under ``roots`` into a :class:`Project`.
+
+    With ``cache_dir`` set, a pickle of the parsed project is kept there
+    keyed on the digest of all sources; a digest hit skips re-parsing.
+    """
+    pairs = _discover([Path(r) for r in roots])
+    files: list[tuple[Path, str, str]] = []  # (path, source, error)
+    for path, root in pairs:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            files.append((path, "", str(error)))
+            continue
+        files.append((path, source, ""))
+
+    digest = _source_digest([(p, s) for p, s, _ in files])
+    cache_file: Path | None = None
+    if cache_dir is not None:
+        cache_file = Path(cache_dir) / f"project-{digest[:32]}.pickle"
+        if cache_file.is_file():
+            try:
+                with open(cache_file, "rb") as handle:
+                    cached = pickle.load(handle)
+                if isinstance(cached, Project):
+                    return cached
+            except Exception:
+                pass  # corrupt/stale cache: rebuild below
+
+    project = Project()
+    root_by_path = dict(pairs)
+    for path, source, error in files:
+        posix = PurePosixPath(path).as_posix()
+        if error:
+            project.broken[posix] = error
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            line = exc.lineno if exc.lineno is not None else 0
+            project.broken[posix] = f"syntax error at line {line}: {exc.msg}"
+            continue
+        name = module_name_for(path, root_by_path[path])
+        # Two roots can map distinct files to one dotted name (a tests/
+        # module shadowing a src/ one); keep both under disambiguated
+        # keys — imports resolve against the unsuffixed name first.
+        candidate = name
+        suffix = 1
+        while candidate in project.modules:
+            candidate = f"{name}#{suffix}"
+            suffix += 1
+        name = candidate
+        project.modules[name] = ModuleInfo(
+            path=posix,
+            name=name,
+            source=source,
+            tree=tree,
+            ignores=collect_ignores(source),
+        )
+
+    if cache_file is not None:
+        try:
+            cache_file.parent.mkdir(parents=True, exist_ok=True)
+            with open(cache_file, "wb") as handle:
+                pickle.dump(project, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            pass  # caching is best-effort; analysis correctness never depends on it
+    return project

@@ -1,0 +1,143 @@
+"""REP102 — colliding ``derive(seed, ...)`` stream keys.
+
+``repro.rng.derive(seed, *key)`` hands out an independent stream per
+``(seed, key)`` pair; two call sites whose keys can evaluate to the same
+tuple silently *share* a stream, so adding draws at one site perturbs
+the other — exactly the coupling ``derive`` exists to prevent.
+
+Key components are resolved through the call graph with the constant
+propagator, so a stream name passed down through a helper parameter is
+still seen.  Two distinct call sites collide when:
+
+* the first key component (the stream name) is a known constant at both
+  sites and the constant sets overlap — an unknown first component is
+  never speculated about;
+* the key tuples have the same length and every remaining aligned pair
+  is *unifiable*: both constant with overlapping sets, or at least one
+  unknown (a trial index that takes arbitrary values can always equal a
+  literal ``0`` at the other site);
+* the seeds are not provably distinct constants.
+
+One violation is reported per colliding pair, anchored at the
+lexicographically *later* site and naming the earlier one — so a single
+suppression comment on the deliberate side silences the pair.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro_lint.analysis.callgraph import CallGraph, FunctionInfo
+from repro_lint.analysis.constprop import AbstractValue, ConstEnv, _Top
+from repro_lint.config import Config, path_matches
+from repro_lint.rules import Violation
+
+__all__ = ["check_rng_streams"]
+
+
+def _is_derive(qualname: str) -> bool:
+    return qualname == "rng.derive" or qualname.endswith(".rng.derive")
+
+
+class _DeriveSite:
+    def __init__(
+        self,
+        func: FunctionInfo,
+        node: ast.Call,
+        seed: AbstractValue,
+        keys: tuple[AbstractValue, ...],
+    ) -> None:
+        self.path = func.path
+        self.line = node.lineno
+        self.col = node.col_offset
+        self.seed = seed
+        self.keys = keys
+
+    @property
+    def sort_key(self) -> tuple[str, int, int]:
+        return (self.path, self.line, self.col)
+
+
+def _collect_sites(
+    graph: CallGraph, consts: ConstEnv, config: Config
+) -> list[_DeriveSite]:
+    sites: list[_DeriveSite] = []
+    for func in graph.functions.values():
+        if not path_matches(func.path, config.rep102_paths):
+            continue
+        for site in graph.calls.get(func.qualname, []):
+            if site.weak or not any(_is_derive(c) for c in site.callees):
+                continue
+            call = site.node
+            if not call.args or any(
+                isinstance(a, ast.Starred) for a in call.args
+            ):
+                continue
+            seed = consts.eval_expr(func, call.args[0])
+            keys = tuple(
+                consts.eval_expr(func, arg) for arg in call.args[1:]
+            )
+            if not keys:
+                continue  # derive(seed) alone: the root stream, one per seed
+            sites.append(_DeriveSite(func, call, seed, keys))
+    sites.sort(key=lambda s: s.sort_key)
+    return sites
+
+
+def _provably_distinct(a: AbstractValue, b: AbstractValue) -> bool:
+    """True when the two abstract values can never be equal."""
+    if isinstance(a, _Top) or isinstance(b, _Top):
+        return False
+    return not (a & b)
+
+
+def _fmt(value: AbstractValue) -> str:
+    if isinstance(value, _Top):
+        return "?"
+    rendered = sorted((repr(v) for v in value), key=str)
+    return rendered[0] if len(rendered) == 1 else "{" + ", ".join(rendered) + "}"
+
+
+def _collides(a: _DeriveSite, b: _DeriveSite) -> bool:
+    if len(a.keys) != len(b.keys):
+        return False
+    first_a, first_b = a.keys[0], b.keys[0]
+    if isinstance(first_a, _Top) or isinstance(first_b, _Top):
+        return False  # unknown stream name: don't speculate
+    if not (first_a & first_b):
+        return False
+    if any(
+        _provably_distinct(x, y) for x, y in zip(a.keys[1:], b.keys[1:])
+    ):
+        return False
+    if _provably_distinct(a.seed, b.seed):
+        return False
+    return True
+
+
+def check_rng_streams(ctx) -> list[Violation]:
+    """REP102: two derive() call sites can produce the same RNG stream."""
+    graph: CallGraph = ctx.graph
+    consts: ConstEnv = ctx.consts
+    config: Config = ctx.config
+    sites = _collect_sites(graph, consts, config)
+    violations: list[Violation] = []
+    for index, later in enumerate(sites):
+        for earlier in sites[:index]:
+            if (earlier.path, earlier.line) == (later.path, later.line):
+                continue  # two derive() calls on one line: same expression
+            if _collides(earlier, later):
+                key_repr = ", ".join(_fmt(k) for k in later.keys)
+                violations.append(
+                    Violation(
+                        later.path,
+                        later.line,
+                        later.col,
+                        "REP102",
+                        f"derive() stream key ({key_repr}) can collide with "
+                        f"derive() at {earlier.path}:{earlier.line} — "
+                        "colliding keys share one RNG stream",
+                    )
+                )
+                break  # one report per site; the first partner names it
+    return violations

@@ -1,0 +1,75 @@
+"""Minimal SARIF 2.1.0 export for CI annotation and artifact upload."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro_lint.rules import Violation
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def to_sarif(
+    violations: list[Violation], rule_summaries: dict[str, str]
+) -> dict:
+    """The findings as a SARIF ``log`` dict (one run, one driver)."""
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, summary in sorted(rule_summaries.items())
+    ]
+    results = [
+        {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: str | Path,
+    violations: list[Violation],
+    rule_summaries: dict[str, str],
+) -> None:
+    payload = to_sarif(violations, rule_summaries)
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,271 @@
+"""REP103 — wall-clock taint reaching the simulated serving layer.
+
+REP002 bans *calling* ``time.time`` in deterministic paths, but the
+serving layer has a subtler hazard: a wall-clock reading taken somewhere
+legal (benchmark timing is allowed to use ``time.perf_counter``) that
+then *flows into* simulated-time machinery — a ``SimClock`` advance, a
+schedule, a cache TTL, an SLO report.  One such flow makes serve runs
+non-reproducible while every individual call site still passes REP002.
+
+This rule does real taint tracking:
+
+* **Sources** — the ``time`` module's clock readers (including the
+  otherwise-legal ``perf_counter``/``monotonic``) and
+  ``datetime.now``-family constructors.
+* **Propagation** — through assignments and arithmetic inside a
+  function; across *strong* call edges both forward (a tainted argument
+  taints the callee's parameter) and backward (a function returning a
+  tainted value taints its call sites), iterated to a fixpoint.
+* **Sinks** — serve-layer constructors and methods by name:
+  ``SimClock(...)``, ``.advance()`` / ``.advance_to()``,
+  ``build_schedule(...)``, ``ServeSchedule`` / ``ServeRequest`` /
+  ``ServedQuery``, ``PlanResultCache(...)``, ``ServeReport(...)``.
+
+A tainted expression appearing as a sink argument is the violation,
+anchored at the sink call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro_lint.analysis.callgraph import CallGraph, FunctionInfo, dotted_name
+from repro_lint.config import Config, path_matches
+from repro_lint.rules import Violation
+
+__all__ = ["check_wallclock_taint"]
+
+#: Fully qualified callables whose return value is host wall-clock time.
+SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Constructor / function names that belong to the simulated serve layer.
+SINK_CALLABLES = frozenset(
+    {
+        "SimClock",
+        "build_schedule",
+        "ServeSchedule",
+        "ServeRequest",
+        "ServedQuery",
+        "PlanResultCache",
+        "ServeReport",
+    }
+)
+
+#: Method names that feed simulated time forward.
+SINK_METHODS = frozenset({"advance", "advance_to"})
+
+_FIXPOINT_ROUNDS = 6
+
+
+def _source_call(func: FunctionInfo, graph: CallGraph, node: ast.Call) -> bool:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return False
+    if dotted in SOURCES:
+        return True
+    aliases = graph.imports.get(func.module, {})
+    head, _, rest = dotted.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return False
+    resolved = f"{target}.{rest}" if rest else target
+    return resolved in SOURCES
+
+
+class _TaintState:
+    """Interprocedural taint facts, refined over fixpoint rounds."""
+
+    def __init__(self) -> None:
+        self.tainted_params: dict[str, set[str]] = {}
+        self.returns_taint: set[str] = set()
+
+    def params_for(self, qualname: str) -> set[str]:
+        return self.tainted_params.setdefault(qualname, set())
+
+
+def _tainted_locals(
+    func: FunctionInfo, graph: CallGraph, state: _TaintState
+) -> set[str]:
+    """Names holding wall-clock-derived values anywhere in ``func``.
+
+    Flow-insensitive within the function (two passes cover chains like
+    ``a = source(); b = a`` regardless of statement order in loops); a
+    name is tainted if any of its assignments has a tainted right side.
+    """
+    tainted: set[str] = set(state.params_for(func.qualname))
+
+    def expr_tainted(expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in tainted:
+                return True
+            if isinstance(node, ast.Call):
+                if _source_call(func, graph, node):
+                    return True
+                if _returns_taint(func, graph, state, node):
+                    return True
+        return False
+
+    for _ in range(2):
+        for node in ast.walk(func.node):
+            value: ast.expr | None = None
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.NamedExpr):
+                targets, value = [node.target], node.value
+            if value is None or not expr_tainted(value):
+                continue
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        tainted.add(leaf.id)
+    return tainted
+
+
+def _returns_taint(
+    func: FunctionInfo, graph: CallGraph, state: _TaintState, call: ast.Call
+) -> bool:
+    for site in graph.calls.get(func.qualname, []):
+        if site.node is call and not site.weak:
+            return any(c in state.returns_taint for c in site.callees)
+    return False
+
+
+def _expr_tainted(
+    func: FunctionInfo, graph: CallGraph, state: _TaintState,
+    tainted: set[str], expr: ast.expr,
+) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+        if isinstance(node, ast.Call) and (
+            _source_call(func, graph, node)
+            or _returns_taint(func, graph, state, node)
+        ):
+            return True
+    return False
+
+
+def _fixpoint(graph: CallGraph) -> tuple[_TaintState, dict[str, set[str]]]:
+    state = _TaintState()
+    local_taint: dict[str, set[str]] = {}
+    for _ in range(_FIXPOINT_ROUNDS):
+        changed = False
+        for func in graph.functions.values():
+            tainted = _tainted_locals(func, graph, state)
+            if local_taint.get(func.qualname) != tainted:
+                local_taint[func.qualname] = tainted
+                changed = True
+            # Backward fact: does this function return taint?
+            returns = False
+            for node in ast.walk(func.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if _expr_tainted(func, graph, state, tainted, node.value):
+                        returns = True
+                        break
+            if returns and func.qualname not in state.returns_taint:
+                state.returns_taint.add(func.qualname)
+                changed = True
+            # Forward fact: tainted arguments taint callee parameters.
+            for site in graph.calls.get(func.qualname, []):
+                if site.weak:
+                    continue
+                for callee_qual in site.callees:
+                    callee = graph.functions.get(callee_qual)
+                    if callee is None:
+                        continue
+                    for param, arg in _bind(site.node, callee):
+                        if _expr_tainted(func, graph, state, tainted, arg):
+                            slot = state.params_for(callee_qual)
+                            if param not in slot:
+                                slot.add(param)
+                                changed = True
+        if not changed:
+            break
+    return state, local_taint
+
+
+def _bind(
+    call: ast.Call, callee: FunctionInfo
+) -> list[tuple[str, ast.expr]]:
+    params = callee.params
+    offset = 1 if callee.cls is not None and params[:1] in (["self"], ["cls"]) else 0
+    bound: list[tuple[str, ast.expr]] = []
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        slot = index + offset
+        if slot < len(params):
+            bound.append((params[slot], arg))
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in params:
+            bound.append((keyword.arg, keyword.value))
+    return bound
+
+
+def _sink_label(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute) and node.func.attr in SINK_METHODS:
+        return f".{node.func.attr}()"
+    name: str | None = None
+    if isinstance(node.func, ast.Name):
+        name = node.func.id
+    elif isinstance(node.func, ast.Attribute):
+        name = node.func.attr
+    if name in SINK_CALLABLES:
+        return f"{name}()"
+    return None
+
+
+def check_wallclock_taint(ctx) -> list[Violation]:
+    """REP103: a wall-clock reading flows into the simulated serve layer."""
+    graph: CallGraph = ctx.graph
+    config: Config = ctx.config
+    state, local_taint = _fixpoint(graph)
+    violations: list[Violation] = []
+    for func in graph.functions.values():
+        if not path_matches(func.path, config.rep103_paths):
+            continue
+        tainted = local_taint.get(func.qualname, set())
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            label = _sink_label(node)
+            if label is None:
+                continue
+            args = [
+                a for a in node.args if not isinstance(a, ast.Starred)
+            ] + [kw.value for kw in node.keywords]
+            if any(
+                _expr_tainted(func, graph, state, tainted, arg)
+                for arg in args
+            ):
+                violations.append(
+                    Violation(
+                        func.path,
+                        node.lineno,
+                        node.col_offset,
+                        "REP103",
+                        f"wall-clock-derived value flows into {label} — "
+                        "the serve layer must run on simulated time",
+                    )
+                )
+    return violations

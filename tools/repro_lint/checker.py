@@ -6,7 +6,7 @@ import ast
 from pathlib import Path
 
 from repro_lint.config import Config
-from repro_lint.ignores import collect_ignores
+from repro_lint.ignores import collect_ignores, span_ignored, statement_spans
 from repro_lint.rules import ALL_RULES, Violation
 
 __all__ = ["Violation", "LintProblem", "check_source", "check_file"]
@@ -43,12 +43,13 @@ def check_source(
     ignores = collect_ignores(source)
     if ignores.skip_file:
         return []
+    spans = statement_spans(tree) if ignores.lines else []
     violations: list[Violation] = []
     for code, rule in ALL_RULES.items():
         if select is not None and code not in select:
             continue
         for violation in rule(tree, path, config):
-            if not ignores.is_ignored(violation.line, violation.code):
+            if not span_ignored(ignores, spans, violation.line, violation.code):
                 violations.append(violation)
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations

@@ -71,6 +71,37 @@ class Config:
     #: reflects shard arrival order and every fold must sort explicitly.
     rep006_paths: tuple[str, ...] = ("src/repro/shard/merge.py",)
 
+    # ---- whole-program (--analyze) rule families ---------------------- #
+
+    #: REP101 — where ledger-conservation findings are reported.  The
+    #: ``src/`` fragment also matches the analysis fixtures' mini-project
+    #: ``src/`` trees; test code computes paths without charging them all
+    #: the time, so it stays out of scope.
+    rep101_paths: tuple[str, ...] = ("src/",)
+    #: REP101 — the accounting layer itself plus the event-driven Pool
+    #: protocol, which legitimately charge hop-by-hop and inspect raw
+    #: paths for telemetry.
+    rep101_allow: tuple[str, ...] = (
+        "src/repro/network/",
+        "src/repro/core/protocol.py",
+    )
+    #: REP102 — where derive() stream-key collisions are reported (test
+    #: code deliberately re-derives production streams to pin them).
+    rep102_paths: tuple[str, ...] = ("src/",)
+    #: REP103 — where wall-clock-taint flows into the serve layer are
+    #: reported.
+    rep103_paths: tuple[str, ...] = ("src/",)
+    #: REP104 — where shard-purity findings are reported.
+    rep104_paths: tuple[str, ...] = ("src/",)
+    #: REP104 — shard-worker entry points, matched as dotted-qualname
+    #: suffixes against the call graph (module names have ``src/``
+    #: stripped, so ``repro.shard.engine._worker_main`` matches both the
+    #: real tree and a fixture mirroring its layout).
+    rep104_entrypoints: tuple[str, ...] = (
+        "repro.shard.engine._worker_main",
+        "repro.shard.view.ShardWorkerState.advance",
+    )
+
     def merged_with(self, overrides: dict[str, object]) -> "Config":
         """A copy with ``overrides`` (pyproject table entries) applied."""
         known = {f.name for f in fields(self)}

@@ -1,0 +1,32 @@
+"""Bad ledger flows: uncharged and double-charged router paths."""
+
+
+def forgotten_send(router, stats, category):
+    path = router.path(0, 9)  # expect: REP101
+    return len(path)
+
+
+def double_charge(net, category):
+    path = net.router.path(2, 7)
+    net.send_along(category, path)
+    net.stats.record_path(category, path)  # expect: REP101
+
+
+def charge_twice_via_helper(net, category):
+    path = net.router.path(1, 5)
+    net.send_along(category, path)
+    relay(net, category, path)  # expect: REP101
+
+
+def relay(net, category, path):
+    net.stats.record_path(category, path)
+
+
+def recharge_unicast(net, category):
+    path = net.unicast(category, 0, 3)
+    net.send_along(category, path)  # expect: REP101
+
+
+def charge_param_twice(net, category, path):
+    net.send_along(category, path)
+    net.stats.record_path(category, path)  # expect: REP101

@@ -1,0 +1,47 @@
+"""Well-behaved ledger flows: every computed path is charged once."""
+
+
+def charged_once(net, category):
+    path = net.router.path(0, 4)
+    net.send_along(category, path)
+    return path
+
+
+def exclusive_branches(net, rel, category):
+    path = net.router.path(3, 8)
+    if rel is None:
+        net.stats.record_path(category, path)
+    else:
+        rel.send_path(category, path, net.stats)
+
+
+def reply_leg(net, category):
+    # The reversed copy is a *new* logical message, not a double charge.
+    path = net.unicast(category, 1, 6)
+    net.send_along(category, list(reversed(path)))
+
+
+def charge_via_helper(net, category):
+    path = net.router.path(2, 9)
+    relay(net, category, path)
+
+
+def relay(net, category, path):
+    net.send_along(category, path)
+
+
+def escapes_for_later(net):
+    # Returned to the caller, which owns the charging decision.
+    return_value = net.router.path(0, 1)
+    return return_value
+
+
+def stored_path(net, holder):
+    # Stored on an object: charged by whoever drains the queue.
+    path = net.router.path(5, 6)
+    holder.pending = path
+
+
+def hop_telemetry(net, category):
+    path = net.unicast(category, 4, 2)
+    return len(path) - 1

@@ -1,0 +1,42 @@
+"""Shard-worker code writing process-shared module state."""
+
+from repro.shard.state import SHARED_COUNTS
+
+_ROUTE_MEMO = {}
+_EPOCH = 0
+
+
+def _worker_main(conn, positions):
+    state = WorkerState(positions)
+    while True:
+        batch = conn.recv()
+        if batch is None:
+            return
+        state.step(batch)
+
+
+class WorkerState:
+    packets_seen = 0
+
+    def __init__(self, positions):
+        self.positions = positions
+
+    def step(self, batch):
+        WorkerState.packets_seen += 1  # expect: REP104
+        for packet in batch:
+            memoize_route(packet)
+            tally(packet)
+        bump_epoch()
+
+
+def memoize_route(packet):
+    _ROUTE_MEMO[packet] = packet  # expect: REP104
+
+
+def tally(packet):
+    SHARED_COUNTS.update({packet: 1})  # expect: REP104
+
+
+def bump_epoch():
+    global _EPOCH  # expect: REP104
+    _EPOCH += 1

@@ -1,0 +1,3 @@
+"""Module-level state shared with the engine module."""
+
+SHARED_COUNTS = {}

@@ -1,0 +1,38 @@
+"""Pure shard-worker code: per-instance state only, module reads OK."""
+
+LIMITS = {"batch": 64}
+
+
+def _worker_main(conn, positions):
+    state = WorkerState(positions)
+    while True:
+        batch = conn.recv()
+        if batch is None:
+            return
+        conn.send(state.step(batch))
+
+
+class WorkerState:
+    def __init__(self, positions):
+        self.positions = dict(positions)
+        self._memo = {}
+
+    def step(self, batch):
+        out = []
+        for packet in sorted(batch):
+            if packet not in self._memo:
+                # Instance state is per-process by construction: fine.
+                self._memo[packet] = route(packet)
+            out.append(self._memo[packet])
+        return out
+
+
+def route(packet):
+    # Reading module-level configuration is fine; writing it is not.
+    limit = LIMITS["batch"]
+    return (packet, limit)
+
+
+def reset_for_tests():
+    # Writes module state but is NOT reachable from a worker entry point.
+    LIMITS["batch"] = 32

@@ -1,0 +1,25 @@
+"""Colliding derive() stream keys, directly and through a helper."""
+
+from repro.rng import derive
+
+
+def topology_stream(seed, size, trial):
+    return derive(seed, "topology", size, trial)
+
+
+def colliding_literal(seed, size):
+    # trial=0 overlaps topology_stream's unknown trial argument.
+    return derive(seed, "topology", size, 0)  # expect: REP102
+
+
+def helper_stream(seed, name):
+    return derive(seed, name, 0)
+
+
+def collide_via_helper(seed):
+    # The constant "events" reaches helper_stream's name parameter.
+    return helper_stream(seed, "events")
+
+
+def events_direct(seed):
+    return derive(seed, "events", 0)  # expect: REP102

@@ -1,0 +1,5 @@
+"""Stub of the real stream-derivation helper: one stream per key."""
+
+
+def derive(seed, *key):
+    return (seed, key)

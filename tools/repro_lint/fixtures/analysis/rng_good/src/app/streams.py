@@ -1,0 +1,30 @@
+"""Distinct derive() stream keys: names, components or seeds differ."""
+
+from repro.rng import derive
+
+
+def topology_stream(seed, size, trial):
+    return derive(seed, "topology", size, trial)
+
+
+def events_stream(seed, size, trial):
+    # Distinct stream-name component.
+    return derive(seed, "events", size, trial)
+
+
+def pivots_for_trial(seed):
+    return derive(seed, "pivots", 0)
+
+
+def pivots_for_warmup(seed):
+    # Provably distinct constant component (1 vs 0).
+    return derive(seed, "pivots", 1)
+
+
+def root_a():
+    return derive(11, "shared")
+
+
+def root_b():
+    # Provably distinct root seeds.
+    return derive(12, "shared")

@@ -1,0 +1,44 @@
+"""Wall-clock readings flowing into the simulated serve layer."""
+
+import time
+from datetime import datetime
+
+
+class SimClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class ServeReport:
+    def __init__(self, started_at=None):
+        self.started_at = started_at
+
+
+def drive_clock_from_wall(clock):
+    dt = time.perf_counter()
+    clock.advance(dt)  # expect: REP103
+
+
+def helper_reading():
+    return time.monotonic()
+
+
+def clock_via_helper(clock):
+    start = helper_reading()
+    clock.advance(start - 1.0)  # expect: REP103
+
+
+def stamp_report():
+    stamp = datetime.now()
+    return ServeReport(started_at=stamp)  # expect: REP103
+
+
+def run_serve(clock, elapsed):
+    clock.advance(elapsed)  # expect: REP103
+
+
+def caller():
+    run_serve(SimClock(), time.perf_counter())

@@ -10,12 +10,17 @@ review.  Three forms are recognised:
 ``# repro-lint: skip-file``
     Suppress the whole file (for generated code; use sparingly).
 
-The comment must sit on the same physical line the violation is reported on
-(for a flagged ``for`` loop that is the line of the ``for`` keyword).
+The comment may sit on any physical line of the *statement* the violation
+is reported on: for a flagged ``for`` loop that is the line of the ``for``
+keyword (or anywhere in a multi-line header), and for a decorated function
+a directive on the decorator line also covers the ``def`` line — the
+directive applies to the whole statement span (see
+:func:`statement_spans`), not just its own physical line.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -78,3 +83,57 @@ def collect_ignores(source: str) -> IgnoreMap:
         # Unterminated constructs: the AST parse will report the real error.
         pass
     return IgnoreMap(skip_file=skip_file, lines=lines)
+
+
+def statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Inclusive ``(first, last)`` line spans of every statement *header*.
+
+    For simple statements the span is the whole statement (a call broken
+    over three lines is one span).  For compound statements it is the
+    header only — decorators through the ``def``/``class`` line, an
+    ``if``/``for``/``with`` condition through its colon — so a directive
+    inside the *body* never leaks onto the header and vice versa.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, *(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if body and isinstance(body, list) and isinstance(body[0], ast.AST):
+            end = body[0].lineno - 1
+        else:
+            end = node.end_lineno if node.end_lineno is not None else node.lineno
+        if end < start:
+            end = start  # one-liner compound statement: `if x: y`
+        if end > start:
+            spans.append((start, end))
+    return spans
+
+
+def span_ignored(
+    ignores: IgnoreMap,
+    spans: list[tuple[int, int]],
+    line: int,
+    code: str,
+) -> bool:
+    """:meth:`IgnoreMap.is_ignored`, extended to full statement spans.
+
+    A violation at ``line`` is suppressed if its own line carries a
+    matching directive, or any line of a statement span containing
+    ``line`` does (a directive on a decorator covers the ``def`` line it
+    decorates, and any line of a multi-line statement covers the rest).
+    """
+    if ignores.is_ignored(line, code):
+        return True
+    if not ignores.lines:
+        return False
+    for start, end in spans:
+        if start <= line <= end:
+            for candidate in range(start, end + 1):
+                if ignores.is_ignored(candidate, code):
+                    return True
+    return False

@@ -36,10 +36,16 @@ from repro.bench.reporting import (
     result_from_export,
     to_json,
 )
-from repro.bench.serve_bench import SERVE_SYSTEMS, run_serve
+from repro.bench.serve_bench import SERVE_SYSTEMS, run_chaos_baseline, run_serve
 from repro.exceptions import ConfigurationError, ValidationError
 from repro.network.reliability import FaultPlan
-from repro.serve import ARRIVAL_PATTERNS, render_serve_table
+from repro.serve import (
+    ARRIVAL_PATTERNS,
+    SHED_POLICIES,
+    render_robustness_table,
+    render_serve_table,
+)
+from repro.serve.admission import SHED_DROP_TAIL
 from repro.telemetry.export import read_telemetry_jsonl, write_telemetry_jsonl
 
 __all__ = ["main", "build_parser"]
@@ -240,6 +246,87 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the serve run's deterministic SLO report as JSON",
     )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bounded admission-queue capacity with a server-occupancy "
+            "model; a full queue sheds by --shed-policy (default: "
+            "unbounded legacy synchronous serving)"
+        ),
+    )
+    serve.add_argument(
+        "--shed-policy",
+        choices=SHED_POLICIES,
+        default=SHED_DROP_TAIL,
+        help="which request a full admission queue sheds",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request completion deadline in simulated seconds; "
+            "expired queued requests are timed out without executing"
+        ),
+    )
+    serve.add_argument(
+        "--retry-budget",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "total partial-result re-executions one service run may "
+            "spend (0 disables retries)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "consecutive partial/failed executions that trip the circuit "
+            "breaker (default: no breaker)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="simulated seconds a tripped breaker stays open",
+    )
+    serve.add_argument(
+        "--chaos-deaths",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "generate N deterministic mid-run node-death events "
+            "(serve sinks are never killed)"
+        ),
+    )
+    serve.add_argument(
+        "--chaos-degradations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="generate N deterministic link-degradation windows",
+    )
+    serve.add_argument(
+        "--chaos-baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "run the fixed-overload serve-chaos baseline (Pool under "
+            "every shed policy) and write it as JSON, skipping the "
+            "normal serve run"
+        ),
+    )
     return parser
 
 
@@ -329,6 +416,30 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.experiment == "serve":
+        if args.chaos_baseline:
+            try:
+                baseline = run_chaos_baseline(
+                    seed=args.seed,
+                    progress=None if args.quiet else _progress,
+                )
+            except (ConfigurationError, ValidationError, ValueError) as error:
+                print(f"serve: {error}", file=sys.stderr)
+                return 2
+            with open(args.chaos_baseline, "w", encoding="utf-8") as handle:
+                json.dump(baseline, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(
+                f"serve-chaos baseline written to {args.chaos_baseline}",
+                file=sys.stderr,
+            )
+            return 0
+        serve_fault_plan = None
+        if args.fault_plan is not None:
+            try:
+                serve_fault_plan = FaultPlan.load(args.fault_plan)
+            except (OSError, ValidationError, ValueError) as error:
+                print(f"cannot read {args.fault_plan}: {error}", file=sys.stderr)
+                return 1
         try:
             outcome = run_serve(
                 seed=args.seed,
@@ -343,6 +454,17 @@ def main(argv: list[str] | None = None) -> int:
                 unique_queries=args.unique_queries,
                 batch_window=args.batch_window,
                 slo_target_s=args.slo,
+                loss_rate=args.loss_rate,
+                retry_limit=args.retry_limit,
+                fault_plan=serve_fault_plan,
+                chaos_deaths=args.chaos_deaths,
+                chaos_degradations=args.chaos_degradations,
+                queue_capacity=args.queue_capacity,
+                shed_policy=args.shed_policy,
+                deadline_s=args.deadline,
+                retry_budget=args.retry_budget,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown_s=args.breaker_cooldown,
                 telemetry=args.telemetry is not None,
                 progress=None if args.quiet else _progress,
             )
@@ -355,6 +477,13 @@ def main(argv: list[str] | None = None) -> int:
             f"n={outcome.size}, seed={outcome.seed}\n"
         )
         print(render_serve_table([(row.cached, row.control) for row in outcome.rows]))
+        if outcome.robust:
+            # Extra outcome table only on robust runs, so default runs
+            # keep their exact historical stdout.
+            print()
+            print(
+                render_robustness_table([row.cached for row in outcome.rows])
+            )
         if args.slo_report:
             with open(args.slo_report, "w", encoding="utf-8") as handle:
                 json.dump(outcome.as_dict(), handle, indent=1, sort_keys=True)

@@ -23,17 +23,36 @@ from repro.bench.workloads import ExperimentConfig
 from repro.events.generators import EventWorkload, QueryWorkload
 from repro.network.deployment import Deployment
 from repro.network.network import Network
+from repro.network.reliability import (
+    ArqPolicy,
+    FaultPlan,
+    LossModel,
+    ReliabilityLayer,
+)
 from repro.rng import derive
 from repro.serve import (
+    SHED_POLICIES,
+    AdmissionPolicy,
+    BreakerPolicy,
+    ChaosSpec,
     PlanResultCache,
     QueryService,
+    RetryPolicy,
     ServeReport,
     build_schedule,
+    generate_fault_plan,
 )
+from repro.serve.admission import SHED_DROP_TAIL
 from repro.telemetry.export import collect_system_record
 from repro.telemetry.spans import SpanRecorder
 
-__all__ = ["ServeRunRow", "ServeRunResult", "run_serve", "SERVE_SYSTEMS"]
+__all__ = [
+    "ServeRunRow",
+    "ServeRunResult",
+    "run_serve",
+    "run_chaos_baseline",
+    "SERVE_SYSTEMS",
+]
 
 #: Range-query systems the serving layer fronts (GHT is a key/value
 #: store — no range plans to cache).
@@ -105,11 +124,24 @@ class ServeRunResult:
     pattern: str
     rows: list[ServeRunRow] = field(default_factory=list)
     telemetry: list[dict[str, Any]] = field(default_factory=list)
+    #: Channel/fault conditions (loss rate, ARQ, fault-plan and chaos
+    #: summaries); ``None`` on a clean run, which keeps the artifact on
+    #: the serve-run/1 schema byte-identically.
+    conditions: dict[str, Any] | None = None
+
+    @property
+    def robust(self) -> bool:
+        """Whether any overload/fault machinery was active this run."""
+        if self.conditions is not None:
+            return True
+        return any(
+            row.cached.robust or row.control.robust for row in self.rows
+        )
 
     def as_dict(self) -> dict[str, Any]:
         """The SLO report artifact (deterministic; diffable in CI)."""
-        return {
-            "schema": "serve-run/1",
+        payload: dict[str, Any] = {
+            "schema": "serve-run/2" if self.robust else "serve-run/1",
             "seed": self.seed,
             "size": self.size,
             "requests": self.requests,
@@ -117,6 +149,9 @@ class ServeRunResult:
             "pattern": self.pattern,
             "rows": [row.as_dict() for row in self.rows],
         }
+        if self.robust:
+            payload["conditions"] = self.conditions
+        return payload
 
 
 def run_serve(
@@ -136,6 +171,17 @@ def run_serve(
     batch_window: float = 0.2,
     hop_latency: float = 0.01,
     slo_target_s: float = 0.5,
+    loss_rate: float = 0.0,
+    retry_limit: int = 3,
+    fault_plan: FaultPlan | None = None,
+    chaos_deaths: int = 0,
+    chaos_degradations: int = 0,
+    queue_capacity: int | None = None,
+    shed_policy: str = SHED_DROP_TAIL,
+    deadline_s: float | None = None,
+    retry_budget: int = 0,
+    breaker_threshold: int | None = None,
+    breaker_cooldown_s: float = 5.0,
     telemetry: bool = False,
     progress: ProgressFn | None = None,
 ) -> ServeRunResult:
@@ -143,6 +189,16 @@ def run_serve(
 
     The deployment, event load and schedule are shared across all
     systems and both configurations — only the serving policy differs.
+
+    The robustness knobs layer chaos and overload on top: ``loss_rate``/
+    ``retry_limit``/``fault_plan`` make the *serving* channel lossy
+    (event loading stays lossless, so every mode folds over identical
+    stores), ``chaos_deaths``/``chaos_degradations`` generate a
+    deterministic :class:`~repro.serve.chaos.ChaosSpec` fault plan on top
+    of any explicit one, and ``queue_capacity``/``shed_policy``/
+    ``deadline_s``/``retry_budget``/``breaker_threshold`` configure the
+    service's admission, retry and circuit-breaker policies.  All knobs
+    at their defaults reproduce the pre-robustness output byte for byte.
     """
     config = ExperimentConfig(
         name="serve",
@@ -179,6 +235,17 @@ def run_serve(
             batch_window=batch_window,
             hop_latency=hop_latency,
             slo_target_s=slo_target_s,
+            loss_rate=loss_rate,
+            retry_limit=retry_limit,
+            fault_plan=fault_plan,
+            chaos_deaths=chaos_deaths,
+            chaos_degradations=chaos_degradations,
+            queue_capacity=queue_capacity,
+            shed_policy=shed_policy,
+            deadline_s=deadline_s,
+            retry_budget=retry_budget,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s,
             telemetry=telemetry,
             progress=progress,
         )
@@ -203,12 +270,58 @@ def _run_serve_systems(
     batch_window: float,
     hop_latency: float,
     slo_target_s: float,
+    loss_rate: float,
+    retry_limit: int,
+    fault_plan: FaultPlan | None,
+    chaos_deaths: int,
+    chaos_degradations: int,
+    queue_capacity: int | None,
+    shed_policy: str,
+    deadline_s: float | None,
+    retry_budget: int,
+    breaker_threshold: int | None,
+    breaker_cooldown_s: float,
     telemetry: bool,
     progress: ProgressFn | None,
 ) -> ServeRunResult:
     size = config.network_sizes[0]
     root = Network(deployment=deployment)
     sinks = _serve_sinks(deployment.topology, num_sinks)
+    admission = (
+        AdmissionPolicy(
+            capacity=queue_capacity,
+            shed_policy=shed_policy,
+            deadline_s=deadline_s,
+        )
+        if queue_capacity is not None or deadline_s is not None
+        else None
+    )
+    retry = RetryPolicy(budget=retry_budget) if retry_budget > 0 else None
+    breaker = (
+        BreakerPolicy(threshold=breaker_threshold, cooldown_s=breaker_cooldown_s)
+        if breaker_threshold is not None
+        else None
+    )
+    plan = fault_plan
+    chaos_summary: dict[str, Any] | None = None
+    if chaos_deaths or chaos_degradations:
+        spec = ChaosSpec(deaths=chaos_deaths, degradations=chaos_degradations)
+        generated = generate_fault_plan(
+            spec,
+            nodes=list(deployment.topology),
+            seed=derive(seed, "serve-chaos", size),
+            protect=sinks,
+        )
+        chaos_summary = spec.as_dict()
+        if plan is None:
+            plan = generated
+        else:
+            plan = FaultPlan(
+                deaths=plan.deaths + generated.deaths,
+                degradations=plan.degradations + generated.degradations,
+                drops=plan.drops,
+            )
+    lossy = loss_rate > 0.0 or plan is not None
     events = config.event_workload.generate(
         config.events_per_node * size,
         seed=derive(seed, "serve-events", size),
@@ -232,6 +345,13 @@ def _run_serve_systems(
         duration=duration,
         pattern=pattern,
     )
+    if lossy:
+        result.conditions = {
+            "loss_rate": loss_rate,
+            "retry_limit": retry_limit,
+            "fault_plan": plan.as_dict() if plan is not None else None,
+            "chaos": chaos_summary,
+        }
     for system_name in config.systems:
         reports: dict[str, ServeReport] = {}
         for mode in ("cached", "control"):
@@ -250,6 +370,23 @@ def _run_serve_systems(
             system = build_system(system_name, facade, config, seed)
             for event in events:
                 system.insert(event)
+            if lossy:
+                # The channel turns lossy only now, after loading: every
+                # mode and system folds over identical stores, and the
+                # fault plan's ticks count *serving* traffic only.  The
+                # layer goes on both the system's scope (where queries
+                # execute) and the facade (so telemetry sees it); each
+                # run gets a fresh layer with identical per-link streams.
+                layer = ReliabilityLayer(
+                    loss=LossModel(
+                        loss_rate, seed=derive(seed, "serve-loss", size)
+                    ),
+                    arq=ArqPolicy(retry_limit=retry_limit),
+                    fault_plan=plan,
+                )
+                layer.bind(deployment.topology)
+                system.network.reliability = layer
+                facade.reliability = layer
             service = QueryService(
                 system,
                 name=system_name,
@@ -257,6 +394,9 @@ def _run_serve_systems(
                 batch_window=batch_window if mode == "cached" else 0.0,
                 hop_latency=hop_latency,
                 slo_target_s=slo_target_s,
+                admission=admission,
+                retry=retry,
+                breaker=breaker,
             )
             try:
                 reports[mode] = service.run(schedule)
@@ -285,3 +425,78 @@ def _run_serve_systems(
             )
         )
     return result
+
+
+def run_chaos_baseline(
+    *,
+    seed: int = 0,
+    size: int = 100,
+    duration: float = 20.0,
+    rate: float = 6.0,
+    queue_capacity: int = 4,
+    deadline_s: float = 0.2,
+    loss_rate: float = 0.08,
+    chaos_deaths: int = 2,
+    chaos_degradations: int = 1,
+    retry_budget: int = 8,
+    breaker_threshold: int = 3,
+    progress: ProgressFn | None = None,
+) -> dict[str, Any]:
+    """The serve-chaos baseline: Pool under fixed overload, per shed policy.
+
+    One ``run_serve`` per shed policy, all at the same seed, channel and
+    overload factor, so the only difference between the policy rows is
+    *which* requests a full queue sheds.  The output is the
+    ``results/BENCH_serve_chaos.json`` artifact shape — deterministic, so
+    the regen test can rebuild and compare it.
+    """
+    policies: dict[str, Any] = {}
+    for policy in SHED_POLICIES:
+        if progress is not None:
+            progress(f"[serve-chaos] policy={policy}")
+        outcome = run_serve(
+            seed=seed,
+            size=size,
+            systems=("pool",),
+            duration=duration,
+            rate=rate,
+            pattern="bursts",
+            loss_rate=loss_rate,
+            chaos_deaths=chaos_deaths,
+            chaos_degradations=chaos_degradations,
+            queue_capacity=queue_capacity,
+            shed_policy=policy,
+            deadline_s=deadline_s,
+            retry_budget=retry_budget,
+            breaker_threshold=breaker_threshold,
+            progress=progress,
+        )
+        report = outcome.rows[0].cached
+        offered = report.offered or 1
+        policies[policy] = {
+            "offered": report.offered,
+            "goodput": round(report.goodput, 6),
+            "shed_rate": round(report.shed / offered, 6),
+            "timeout_rate": round(report.timeouts / offered, 6),
+            "partial": report.partials,
+            "stale_served": report.stale_served,
+            "breaker_trips": report.breaker_trips,
+            "latency_p95_s": round(report.latency_percentile(0.95), 6),
+        }
+    return {
+        "schema": "bench-serve-chaos/1",
+        "seed": seed,
+        "size": size,
+        "overload": {
+            "duration_s": duration,
+            "rate": rate,
+            "queue_capacity": queue_capacity,
+            "deadline_s": deadline_s,
+            "loss_rate": loss_rate,
+            "chaos_deaths": chaos_deaths,
+            "chaos_degradations": chaos_degradations,
+            "retry_budget": retry_budget,
+            "breaker_threshold": breaker_threshold,
+        },
+        "policies": policies,
+    }

@@ -15,7 +15,7 @@ Implements the :class:`~repro.dcs.DataCentricStore` protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.grid import Cell, Grid
@@ -26,7 +26,13 @@ from repro.core.resolve import query_ranges_for_pool, relevant_offsets
 from repro.aggregates import AggregateKind, AggregateState
 from repro.core.replication import FailureReport, ReplicationPolicy
 from repro.core.sharing import CellStore, SharingPolicy
-from repro.dcs import AggregateResult, InsertReceipt, QueryResult, resolve_result
+from repro.dcs import (
+    AggregateResult,
+    InsertReceipt,
+    PartialResult,
+    QueryResult,
+    resolve_result,
+)
 from repro.events.event import Event
 from repro.events.queries import RangeQuery
 from repro.exceptions import (
@@ -752,6 +758,73 @@ class PoolSystem:
             answered_cells=answered_cells,
             unreachable_cells=tuple(unreachable_cells),
             unreachable_nodes=tuple(unreachable_nodes),
+        )
+
+    def plan_retry(
+        self, plan: QueryPlan, result: QueryResult
+    ) -> QueryPlan | None:
+        """A restricted plan covering only a partial result's missing cells.
+
+        The serving layer's retry path calls this so a re-execution
+        disseminates only to the unreachable cells' holders instead of
+        re-charging the whole splitter tree.  Cell membership is tested
+        against the flat unreachable set; the same ``Cell`` coordinates
+        can in principle appear in two Pools, in which case an answered
+        twin is retried too — an over-approximation that costs a few
+        extra (honestly charged) messages but never loses data, since
+        retry folds are merged with event dedup.  Returns ``None`` when
+        nothing is missing (the caller keeps the original result).
+        """
+        if not isinstance(result, PartialResult) or not result.unreachable_cells:
+            return None
+        missing = set(result.unreachable_cells)
+        leg_plans: tuple[PoolLegPlan, ...] = plan.detail
+        legs: list[PoolLegPlan] = []
+        for leg in leg_plans:
+            keep = [i for i, cell in enumerate(leg.cells) if cell in missing]
+            if not keep:
+                continue
+            cell_holders = tuple(leg.cell_holders[i] for i in keep)
+            destinations: dict[int, None] = {}
+            for _, cell_nodes in cell_holders:
+                for node in sorted(cell_nodes):
+                    destinations[node] = None
+            legs.append(
+                replace(
+                    leg,
+                    offsets=tuple(leg.offsets[i] for i in keep),
+                    cells=tuple(leg.cells[i] for i in keep),
+                    destinations=tuple(destinations),
+                    cell_holders=cell_holders,
+                )
+            )
+        if not legs:
+            return None
+        retry_legs = tuple(legs)
+        return QueryPlan(
+            system="pool",
+            sink=plan.sink,
+            query=plan.query,
+            cells=tuple(
+                (leg.pool, ho, vo)
+                for leg in retry_legs
+                for ho, vo in leg.offsets
+            ),
+            destinations=tuple(
+                dict.fromkeys(
+                    node for leg in retry_legs for node in leg.destinations
+                )
+            ),
+            share_key=(
+                "pool-retry",
+                plan.sink,
+                self.route_via_splitter,
+                tuple(
+                    (leg.pool, leg.splitter, leg.destinations)
+                    for leg in retry_legs
+                ),
+            ),
+            detail=retry_legs,
         )
 
     def query_span_attrs(self, result: QueryResult) -> dict[str, object]:

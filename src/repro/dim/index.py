@@ -14,7 +14,13 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.aggregates import AggregateKind, AggregateState
-from repro.dcs import AggregateResult, InsertReceipt, QueryResult, resolve_result
+from repro.dcs import (
+    AggregateResult,
+    InsertReceipt,
+    PartialResult,
+    QueryResult,
+    resolve_result,
+)
 from repro.exceptions import ConfigurationError
 from repro.dim.zones import Zone, ZoneTree
 from repro.events.event import Event
@@ -177,6 +183,34 @@ class DimIndex:
             unreachable_nodes=tuple(
                 owner for owner in owners if owner not in answered
             ),
+        )
+
+    def plan_retry(
+        self, plan: QueryPlan, result: QueryResult
+    ) -> QueryPlan | None:
+        """A restricted plan covering only a partial result's missing zones.
+
+        Zone codes are unique, so the retry disseminates to exactly the
+        owners whose replies were lost — nothing an answered zone already
+        delivered is re-fetched.  Returns ``None`` when nothing is
+        missing.
+        """
+        if not isinstance(result, PartialResult) or not result.unreachable_cells:
+            return None
+        missing = set(result.unreachable_cells)
+        zones: tuple[Zone, ...] = plan.detail
+        kept = tuple(zone for zone in zones if zone.code in missing)
+        if not kept:
+            return None
+        owners = sorted({zone.owner for zone in kept})
+        return QueryPlan(
+            system="dim",
+            sink=plan.sink,
+            query=plan.query,
+            cells=tuple(zone.code for zone in kept),
+            destinations=tuple(owners),
+            share_key=("dim-retry", plan.sink, tuple(owners)),
+            detail=kept,
         )
 
     def query_span_attrs(self, result: QueryResult) -> dict[str, object]:

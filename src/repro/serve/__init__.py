@@ -3,33 +3,61 @@
 Deterministic scheduled workloads (:mod:`repro.serve.schedule`), a
 simulated clock (:mod:`repro.serve.clock`), a plan/result cache with
 cell-set invalidation (:mod:`repro.serve.cache`), the request-queue
-service with batch coalescing (:mod:`repro.serve.service`) and the
-throughput/latency/SLO reporting (:mod:`repro.serve.report`).
+service with batch coalescing (:mod:`repro.serve.service`), the
+throughput/latency/SLO reporting (:mod:`repro.serve.report`), the
+overload/fault-tolerance policies — bounded admission, shedding,
+deadlines, retries, circuit breaking (:mod:`repro.serve.admission`) —
+and the deterministic chaos-scenario generator
+(:mod:`repro.serve.chaos`).
 
 Surfaced on the CLI as ``pool-bench serve``.
 """
 
+from repro.serve.admission import (
+    SHED_POLICIES,
+    AdmissionPolicy,
+    AdmissionQueue,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.serve.cache import CacheEntry, PlanResultCache
+from repro.serve.chaos import ChaosSpec, generate_fault_plan
 from repro.serve.clock import SimClock
-from repro.serve.report import ServedQuery, ServeReport, render_serve_table
+from repro.serve.report import (
+    ServedQuery,
+    ServeReport,
+    render_robustness_table,
+    render_serve_table,
+)
 from repro.serve.schedule import (
     ARRIVAL_PATTERNS,
     ServeRequest,
     ServeSchedule,
     build_schedule,
 )
-from repro.serve.service import QueryService
+from repro.serve.service import QueryService, merge_partial_results
 
 __all__ = [
     "ARRIVAL_PATTERNS",
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "BreakerPolicy",
     "CacheEntry",
+    "ChaosSpec",
+    "CircuitBreaker",
     "PlanResultCache",
     "QueryService",
+    "RetryPolicy",
+    "SHED_POLICIES",
     "ServeRequest",
     "ServeSchedule",
     "ServeReport",
     "ServedQuery",
     "SimClock",
     "build_schedule",
+    "generate_fault_plan",
+    "merge_partial_results",
+    "render_robustness_table",
     "render_serve_table",
 ]

@@ -1,0 +1,352 @@
+"""Bounded admission, load shedding, deadlines and failure containment.
+
+The serving layer's overload/fault-tolerance policies live here, all of
+them pure simulated-time machinery (no wall clock, no raw RNG — the
+repro-lint invariants apply to this module like the rest of the serve
+package):
+
+* :class:`AdmissionPolicy` — a bounded request queue with a configurable
+  shedding policy (:data:`SHED_POLICIES`) and an optional per-request
+  deadline.  ``capacity=None`` keeps the queue unbounded, which together
+  with ``deadline_s=None`` is the zero-cost default: the service takes
+  the legacy synchronous path and its output stays byte-identical to the
+  pre-admission serving layer.
+* :class:`RetryPolicy` — a per-service-run budget of partial-result
+  re-executions with exponential backoff.  Retries are charged honestly
+  on the ledger; the service re-executes only the unreachable legs when
+  the system offers a ``plan_retry`` hook (Pool, DIM) and falls back to a
+  full re-execution otherwise.
+* :class:`BreakerPolicy` / :class:`CircuitBreaker` — trips after
+  ``threshold`` consecutive partial/failed executions, stays open for
+  ``cooldown_s`` simulated seconds, and while open the service answers
+  from stale-but-complete cache entries instead of executing.
+* :class:`AdmissionQueue` — the runtime bounded queue.  Shedding is
+  deterministic: victims are chosen by policy over the (time-ordered)
+  pending list, never by iteration over a set.
+
+Shed policies
+-------------
+``drop-tail``
+    A full queue sheds the *incoming* request (classic tail drop).
+``drop-oldest``
+    A full queue sheds the head — the request that has waited longest and
+    is most likely to miss its deadline anyway.
+``priority-by-sink``
+    Lower sink ids are higher priority (the base-station sink the bench
+    places first outranks the quadrant sinks).  A full queue sheds the
+    lowest-priority entry, newest first, which may be the incoming
+    request itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.serve.schedule import ServeRequest
+
+__all__ = [
+    "SHED_DROP_TAIL",
+    "SHED_DROP_OLDEST",
+    "SHED_PRIORITY",
+    "SHED_POLICIES",
+    "AdmissionPolicy",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "AdmissionQueue",
+]
+
+SHED_DROP_TAIL = "drop-tail"
+SHED_DROP_OLDEST = "drop-oldest"
+SHED_PRIORITY = "priority-by-sink"
+
+#: Shedding policies a bounded :class:`AdmissionQueue` understands.
+SHED_POLICIES = (SHED_DROP_TAIL, SHED_DROP_OLDEST, SHED_PRIORITY)
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionPolicy:
+    """Bounded-queue admission control for one :class:`QueryService`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum requests waiting for service.  ``None`` means unbounded
+        (nothing is ever shed); ``0`` is rejected — a queue that can hold
+        nothing cannot serve anything.
+    shed_policy:
+        Which request a full queue sheds (see module docstring).
+    deadline_s:
+        Simulated seconds after submission within which a request must
+        *complete*.  A queued request whose deadline passes before
+        service starts is timed out without executing (zero messages); a
+        request that completes after its deadline keeps its honestly
+        charged messages but reports ``OUTCOME_TIMEOUT``.  ``None``
+        disables deadlines.
+    """
+
+    capacity: int | None = None
+    shed_policy: str = SHED_DROP_TAIL
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigurationError(
+                f"queue capacity must be >= 1 (or None), got {self.capacity}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"unknown shed policy {self.shed_policy!r}; choose from "
+                f"{SHED_POLICIES}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ConfigurationError(
+                f"deadline must be > 0 seconds, got {self.deadline_s}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "queue_capacity": self.capacity,
+            "shed_policy": self.shed_policy,
+            "deadline_s": self.deadline_s,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Per-service-run budget of partial-result re-executions.
+
+    ``budget`` bounds the *total* re-executions one service run may
+    spend across all requests — a shared token bucket, so a persistently
+    lossy network cannot amplify traffic unboundedly.  Retry ``k`` of a
+    request waits ``backoff_base * backoff_factor ** (k - 1)`` simulated
+    seconds (added to the request's latency and to the server occupancy).
+    """
+
+    budget: int = 0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    max_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ConfigurationError(
+                f"retry budget must be >= 0, got {self.budget}"
+            )
+        if self.backoff_base <= 0.0 or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                "backoff_base must be positive and backoff_factor >= 1, got "
+                f"base={self.backoff_base} factor={self.backoff_factor}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated delay before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "retry_budget": self.budget,
+            "retry_backoff_base_s": self.backoff_base,
+            "retry_backoff_factor": self.backoff_factor,
+            "retry_max_attempts": self.max_attempts,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerPolicy:
+    """Circuit-breaker configuration.
+
+    ``threshold`` consecutive partial/failed executions trip the breaker;
+    it stays open for ``cooldown_s`` simulated seconds.  While open the
+    service serves stale-but-complete cache entries (never executing);
+    requests with no stale entry are shed.  After the cooldown the next
+    request probes (half-open): success closes the breaker, another
+    failure re-opens it.
+    """
+
+    threshold: int = 3
+    cooldown_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigurationError(
+                f"breaker threshold must be >= 1, got {self.threshold}"
+            )
+        if self.cooldown_s <= 0.0:
+            raise ConfigurationError(
+                f"breaker cooldown must be > 0 seconds, got {self.cooldown_s}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "breaker_threshold": self.threshold,
+            "breaker_cooldown_s": self.cooldown_s,
+        }
+
+
+class CircuitBreaker:
+    """Runtime state machine for one :class:`BreakerPolicy`.
+
+    All transitions are driven by simulated timestamps the service
+    passes in; the breaker never reads a clock itself.
+    """
+
+    __slots__ = ("policy", "consecutive_failures", "open_until", "trips")
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        self.trips = 0
+
+    def is_open(self, now: float) -> bool:
+        """Whether executions are currently blocked.
+
+        Past ``open_until`` the breaker is half-open: executions are
+        allowed again, but the failure streak is preserved so one more
+        failure re-trips immediately.
+        """
+        return now < self.open_until
+
+    def record_success(self) -> None:
+        """A complete execution closes the breaker and clears the streak."""
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+
+    def record_failure(self, now: float) -> bool:
+        """Count a partial/failed execution; returns True when it trips."""
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.policy.threshold:
+            self.open_until = now + self.policy.cooldown_s
+            self.trips += 1
+            # Half-open probes re-trip on the very next failure.
+            self.consecutive_failures = self.policy.threshold - 1
+            return True
+        return False
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "trips": self.trips,
+            "consecutive_failures": self.consecutive_failures,
+            "open_until_s": round(self.open_until, 6),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(trips={self.trips}, "
+            f"streak={self.consecutive_failures}, "
+            f"open_until={self.open_until:.3f})"
+        )
+
+
+class AdmissionQueue:
+    """Bounded, time-ordered pending-request queue with shedding.
+
+    The pending list stays in submission order (the schedule is already
+    time-sorted and the service admits in order), so victim selection is
+    deterministic: policies index the list, never iterate a set.
+    ``max_depth`` records the deepest the queue ever got — the invariant
+    the property tests pin is ``max_depth <= capacity``.
+    """
+
+    __slots__ = ("policy", "_pending", "max_depth", "shed_count")
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        self._pending: list[ServeRequest] = []
+        self.max_depth = 0
+        self.shed_count = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def head(self) -> ServeRequest | None:
+        """The longest-waiting pending request (None when empty)."""
+        return self._pending[0] if self._pending else None
+
+    def offer(self, request: ServeRequest) -> ServeRequest | None:
+        """Admit ``request``; returns the shed victim, if any.
+
+        The victim may be ``request`` itself (``drop-tail``, or
+        ``priority-by-sink`` when the newcomer is the lowest priority).
+        """
+        capacity = self.policy.capacity
+        if capacity is None or len(self._pending) < capacity:
+            self._pending.append(request)
+            self.max_depth = max(self.max_depth, len(self._pending))
+            return None
+        policy = self.policy.shed_policy
+        if policy == SHED_DROP_TAIL:
+            self.shed_count += 1
+            return request
+        if policy == SHED_DROP_OLDEST:
+            victim = self._pending.pop(0)
+            self._pending.append(request)
+            self.max_depth = max(self.max_depth, len(self._pending))
+            self.shed_count += 1
+            return victim
+        # priority-by-sink: lower sink id = higher priority; among the
+        # lowest-priority candidates the newest request is shed first.
+        candidates = self._pending + [request]
+        victim = max(candidates, key=lambda r: (r.sink, r.request_id))
+        self.shed_count += 1
+        if victim is request:
+            return request
+        self._pending.remove(victim)
+        self._pending.append(request)
+        self.max_depth = max(self.max_depth, len(self._pending))
+        return victim
+
+    def expired(self, now: float) -> list[ServeRequest]:
+        """Pop every pending request whose deadline passed before ``now``.
+
+        Uses the request's own ``deadline_s`` when set, else the policy's
+        default.  Returns the timed-out requests in submission order.
+        """
+        default = self.policy.deadline_s
+        timed_out: list[ServeRequest] = []
+        kept: list[ServeRequest] = []
+        for request in self._pending:
+            deadline = request.deadline_s if request.deadline_s is not None else default
+            if deadline is not None and request.time + deadline < now:
+                timed_out.append(request)
+            else:
+                kept.append(request)
+        self._pending = kept
+        return timed_out
+
+    def pop_batch(self, window: float) -> list[ServeRequest]:
+        """Pop the head plus every pending request inside its batch window.
+
+        Mirrors the legacy scheduler's admission-window semantics, but
+        over *arrived* requests only: the queue never contains the
+        future.
+        """
+        if not self._pending:
+            return []
+        head = self._pending[0]
+        close = head.time + window
+        batch: list[ServeRequest] = []
+        kept: list[ServeRequest] = []
+        for index, request in enumerate(self._pending):
+            if index == 0 or request.time <= close:
+                batch.append(request)
+            else:
+                kept.append(request)
+        self._pending = kept
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdmissionQueue(pending={len(self._pending)}, "
+            f"max_depth={self.max_depth}, shed={self.shed_count})"
+        )

@@ -51,46 +51,98 @@ class CacheEntry:
     ``cost`` is what the producing execution charged to the ledger — the
     messages a cache hit avoids re-charging (exact on a deterministic
     network: re-executing the same plan charges the same messages).
+    ``complete`` tags whether the result answered every query-relevant
+    cell: an incomplete entry (a :class:`~repro.dcs.PartialResult` folded
+    under loss or faults) is **never** served as a plain hit — lookups
+    skip it so the request revalidates by re-executing, and the fresh
+    result then replaces the tainted entry.
     """
 
     plan: QueryPlan
     result: QueryResult
     cost: int
+    complete: bool = True
 
 
 class PlanResultCache:
-    """Resolved-cell-set keyed cache over one system's staged pipeline."""
+    """Resolved-cell-set keyed cache over one system's staged pipeline.
 
-    def __init__(self) -> None:
+    ``keep_stale`` (off by default) retains *complete* entries evicted by
+    invalidation in a stale side table, so a tripped circuit breaker can
+    serve a stale-but-complete answer instead of executing into a failing
+    network.  Stale entries never satisfy a normal :meth:`lookup`; only
+    :meth:`lookup_stale` reads them, and a fresh :meth:`store` for the
+    same request supersedes them.
+    """
+
+    def __init__(self, *, keep_stale: bool = False) -> None:
         self._entries: dict[CacheKey, CacheEntry] = {}
         # Inverted index: native cell -> keys of entries whose plan
         # resolved that cell.
         self._by_cell: dict[Hashable, set[CacheKey]] = {}
         self._attached: list[tuple[Any, Any]] = []
+        self.keep_stale = keep_stale
+        self._stale: dict[CacheKey, CacheEntry] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.incomplete_skips = 0
+        self.stale_hits = 0
 
     # ------------------------------------------------------------------ #
     # Lookup / store                                                     #
     # ------------------------------------------------------------------ #
 
     def lookup(self, sink: int, query: RangeQuery) -> CacheEntry | None:
-        """The live entry for ``(sink, query)``, counting hit/miss."""
+        """The live *complete* entry for ``(sink, query)``.
+
+        An incomplete entry counts as a miss (and is tallied under
+        ``incomplete_skips``): the caller re-executes, which revalidates
+        the answer and overwrites the tainted entry.  Serving it as a
+        hit would replay a lossy network's partial answer as
+        authoritative forever — the cache-poisoning bug this guards
+        against.
+        """
         entry = self._entries.get((sink, query))
+        if entry is not None and not entry.complete:
+            self.incomplete_skips += 1
+            entry = None
         if entry is None:
             self.misses += 1
         else:
             self.hits += 1
         return entry
 
+    def lookup_stale(self, sink: int, query: RangeQuery) -> CacheEntry | None:
+        """A stale-but-complete entry for ``(sink, query)``, if retained.
+
+        Only consulted while a circuit breaker is open; stale entries are
+        by construction complete (incomplete ones are dropped outright at
+        invalidation time).
+        """
+        entry = self._stale.get((sink, query))
+        if entry is not None:
+            self.stale_hits += 1
+        return entry
+
     def store(self, plan: QueryPlan, result: QueryResult, cost: int) -> None:
-        """Cache a freshly folded result under its plan's identities."""
+        """Cache a freshly folded result under its plan's identities.
+
+        Completeness is taken from the result itself: a
+        :class:`~repro.dcs.PartialResult` is stored *tagged incomplete*
+        so it can never satisfy a plain lookup (see :meth:`lookup`).
+        """
         key: CacheKey = (plan.sink, plan.query)
         existing = self._entries.get(key)
         if existing is not None:
             self._unindex(key, existing.plan)
-        self._entries[key] = CacheEntry(plan=plan, result=result, cost=cost)
+        complete = not result.is_partial
+        self._entries[key] = CacheEntry(
+            plan=plan, result=result, cost=cost, complete=complete
+        )
+        if complete:
+            # A fresh complete answer supersedes any stale copy.
+            self._stale.pop(key, None)
         for cell in dict.fromkeys(plan.cells):
             self._by_cell.setdefault(cell, set()).add(key)
 
@@ -112,6 +164,8 @@ class PlanResultCache:
             if entry is None:
                 continue
             self._unindex(key, entry.plan)
+            if self.keep_stale and entry.complete:
+                self._stale[key] = entry
             dropped += 1
         self.invalidations += dropped
         return dropped
@@ -119,6 +173,11 @@ class PlanResultCache:
     def invalidate_all(self) -> int:
         """Drop everything (topology changes, failure epochs)."""
         dropped = len(self._entries)
+        if self.keep_stale:
+            for key in sorted(self._entries, key=repr):
+                entry = self._entries[key]
+                if entry.complete:
+                    self._stale[key] = entry
         self._entries.clear()
         self._by_cell.clear()
         self.invalidations += dropped
@@ -173,6 +232,10 @@ class PlanResultCache:
     def cells_indexed(self) -> int:
         """Number of distinct cells in the invalidation index."""
         return len(self._by_cell)
+
+    def stale_entries(self) -> int:
+        """Number of stale-but-complete entries retained for the breaker."""
+        return len(self._stale)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

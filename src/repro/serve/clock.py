@@ -47,5 +47,15 @@ class SimClock:
             self._now = timestamp
         return self._now
 
+    def deadline(self, timeout: float) -> float:
+        """The absolute simulated time ``timeout`` seconds from now.
+
+        The admission layer stamps per-request deadlines with this so
+        every expiry decision is a pure function of simulated time.
+        """
+        if timeout <= 0.0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        return self._now + timeout
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimClock(now={self._now:.6f})"

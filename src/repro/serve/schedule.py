@@ -38,12 +38,18 @@ ARRIVAL_PATTERNS = ("poisson", "bursts", "diurnal")
 
 @dataclass(frozen=True, slots=True)
 class ServeRequest:
-    """One scheduled query submission."""
+    """One scheduled query submission.
+
+    ``deadline_s`` optionally overrides the service's admission-policy
+    deadline for this request alone (``None`` inherits the policy
+    default); it is relative to ``time``, like the policy deadline.
+    """
 
     request_id: int
     time: float
     sink: int
     query: RangeQuery
+    deadline_s: float | None = None
 
 
 @dataclass(frozen=True, slots=True)

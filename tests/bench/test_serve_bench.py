@@ -84,3 +84,51 @@ class TestServeCli:
     def test_bad_serve_parameters_fail_cleanly(self, capsys):
         assert main(["serve", "--duration", "0", "--quiet"]) == 2
         assert "serve:" in capsys.readouterr().err
+
+
+class TestChaosBaseline:
+    def test_checked_in_baseline_regenerates_exactly(self):
+        """results/BENCH_serve_chaos.json is a pure function of seed 0.
+
+        Regenerating must reproduce the committed file byte-for-byte;
+        a mismatch means the serving layer's behavior under overload
+        drifted and the baseline (or the code) needs a deliberate bump.
+        """
+        from pathlib import Path
+
+        from repro.bench.serve_bench import run_chaos_baseline
+
+        committed = (
+            Path(__file__).resolve().parents[2]
+            / "results"
+            / "BENCH_serve_chaos.json"
+        )
+        expected = json.loads(committed.read_text(encoding="utf-8"))
+        assert run_chaos_baseline(seed=0) == expected
+
+    def test_baseline_exercises_every_degradation_mode(self):
+        from pathlib import Path
+
+        committed = (
+            Path(__file__).resolve().parents[2]
+            / "results"
+            / "BENCH_serve_chaos.json"
+        )
+        payload = json.loads(committed.read_text(encoding="utf-8"))
+        assert payload["schema"] == "bench-serve-chaos/1"
+        assert sorted(payload["policies"]) == [
+            "drop-oldest", "drop-tail", "priority-by-sink"
+        ]
+        for name, policy in payload["policies"].items():
+            assert policy["shed_rate"] > 0.0, name
+            assert policy["timeout_rate"] > 0.0, name
+            assert policy["partial"] > 0, name
+            assert 0.0 < policy["goodput"] < 1.0, name
+
+    def test_chaos_baseline_cli_writes_the_file(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        code = main(["serve", "--quiet", "--chaos-baseline", str(out)])
+        assert code == 0
+        assert "serve-chaos baseline written" in capsys.readouterr().err
+        committed = json.loads(out.read_text(encoding="utf-8"))
+        assert committed["schema"] == "bench-serve-chaos/1"

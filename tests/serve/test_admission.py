@@ -1,0 +1,316 @@
+"""Admission control: bounded queue, shedding, deadlines, retries, breaker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.events.queries import RangeQuery
+from repro.exceptions import ConfigurationError
+from repro.serve import (
+    SHED_POLICIES,
+    AdmissionPolicy,
+    AdmissionQueue,
+    BreakerPolicy,
+    CircuitBreaker,
+    PlanResultCache,
+    QueryService,
+    RetryPolicy,
+)
+from repro.serve.report import TERMINAL_OUTCOMES
+from tests.serve._fakes import FakeSystem, make_request, make_schedule
+
+QA = RangeQuery.partial(3, {0: (0.0, 0.5)})
+QB = RangeQuery.partial(3, {0: (0.5, 1.0)})
+
+
+def _request(i, t, sink=0, query=QA, deadline_s=None):
+    return make_request(i, t, sink=sink, query=query, deadline_s=deadline_s)
+
+
+_schedule = make_schedule
+
+
+class TestPolicyValidation:
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(capacity=0)
+
+    def test_unknown_shed_policy_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(capacity=4, shed_policy="coin-flip")
+
+    def test_nonpositive_deadline_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionPolicy(deadline_s=0.0)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(budget=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        assert RetryPolicy(budget=2).backoff(2) == pytest.approx(0.1)
+
+    def test_breaker_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(threshold=0)
+        with pytest.raises(ConfigurationError):
+            BreakerPolicy(cooldown_s=0.0)
+
+
+class TestAdmissionQueue:
+    def test_unbounded_never_sheds(self):
+        queue = AdmissionQueue(AdmissionPolicy())
+        for i in range(100):
+            assert queue.offer(_request(i, float(i))) is None
+        assert len(queue) == 100
+
+    def test_drop_tail_sheds_the_incoming_request(self):
+        queue = AdmissionQueue(AdmissionPolicy(capacity=2))
+        assert queue.offer(_request(0, 0.0)) is None
+        assert queue.offer(_request(1, 0.1)) is None
+        victim = queue.offer(_request(2, 0.2))
+        assert victim is not None and victim.request_id == 2
+        assert [r.request_id for r in (queue.head,)] == [0]
+
+    def test_drop_oldest_sheds_the_head(self):
+        queue = AdmissionQueue(
+            AdmissionPolicy(capacity=2, shed_policy="drop-oldest")
+        )
+        queue.offer(_request(0, 0.0))
+        queue.offer(_request(1, 0.1))
+        victim = queue.offer(_request(2, 0.2))
+        assert victim is not None and victim.request_id == 0
+        assert queue.head is not None and queue.head.request_id == 1
+
+    def test_priority_by_sink_sheds_lowest_priority_newest_first(self):
+        queue = AdmissionQueue(
+            AdmissionPolicy(capacity=2, shed_policy="priority-by-sink")
+        )
+        queue.offer(_request(0, 0.0, sink=9))
+        queue.offer(_request(1, 0.1, sink=1))
+        # The newcomer (sink 9, higher id) loses the tie against request 0.
+        victim = queue.offer(_request(2, 0.2, sink=9))
+        assert victim is not None and victim.request_id == 2
+        # A high-priority newcomer evicts the pending sink-9 request.
+        victim = queue.offer(_request(3, 0.3, sink=0))
+        assert victim is not None and victim.request_id == 0
+
+    def test_max_depth_never_exceeds_capacity(self):
+        queue = AdmissionQueue(AdmissionPolicy(capacity=3))
+        for i in range(10):
+            queue.offer(_request(i, float(i)))
+        assert queue.max_depth <= 3
+        assert queue.shed_count == 7
+
+    def test_expired_pops_by_deadline(self):
+        queue = AdmissionQueue(AdmissionPolicy(deadline_s=1.0))
+        queue.offer(_request(0, 0.0))
+        queue.offer(_request(1, 0.0, deadline_s=5.0))  # per-request override
+        queue.offer(_request(2, 1.5))
+        timed_out = queue.expired(2.0)
+        assert [r.request_id for r in timed_out] == [0]
+        assert len(queue) == 2
+
+    def test_pop_batch_respects_the_window(self):
+        queue = AdmissionQueue(AdmissionPolicy())
+        queue.offer(_request(0, 0.0))
+        queue.offer(_request(1, 0.1))
+        queue.offer(_request(2, 0.5))
+        batch = queue.pop_batch(0.2)
+        assert [r.request_id for r in batch] == [0, 1]
+        assert len(queue) == 1
+
+
+class TestCircuitBreaker:
+    def test_trips_at_threshold_and_cools_down(self):
+        breaker = CircuitBreaker(BreakerPolicy(threshold=3, cooldown_s=2.0))
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(0.1) is False
+        assert breaker.record_failure(0.2) is True
+        assert breaker.trips == 1
+        assert breaker.is_open(1.0)
+        assert not breaker.is_open(2.2)  # half-open after the cooldown
+
+    def test_half_open_retrip_and_success_reset(self):
+        breaker = CircuitBreaker(BreakerPolicy(threshold=2, cooldown_s=1.0))
+        breaker.record_failure(0.0)
+        assert breaker.record_failure(0.1) is True
+        # One failure during the half-open probe re-trips immediately.
+        assert breaker.record_failure(1.5) is True
+        assert breaker.trips == 2
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        assert not breaker.is_open(1.6)
+
+
+class TestServiceOverload:
+    def test_full_queue_sheds_and_every_request_terminates(self):
+        system = FakeSystem(depth=5)  # 0.1 s service time per request
+        requests = [_request(i, 0.001 * i) for i in range(12)]
+        service = QueryService(
+            system, admission=AdmissionPolicy(capacity=2)
+        )
+        report = service.run(_schedule(requests))
+        assert report.offered == 12
+        assert report.shed > 0
+        assert report.shed + report.executed == 12
+        assert service._queue.max_depth <= 2
+        assert report.policy is not None
+        assert report.policy["queue_capacity"] == 2
+        assert report.as_dict()["schema"] == "serve-report/2"
+
+    def test_queued_requests_time_out_without_executing(self):
+        system = FakeSystem(depth=5)  # 0.1 s service time
+        requests = [_request(0, 0.0), _request(1, 0.0, query=QB)]
+        service = QueryService(
+            system, admission=AdmissionPolicy(deadline_s=0.05)
+        )
+        report = service.run(_schedule(requests))
+        # Request 0 completes at 0.1 s — past its deadline, charged.
+        first = report.served[0]
+        assert first.outcome == "timeout"
+        assert first.messages > 0
+        # Request 1's deadline passed while queued: timed out, free.
+        second = report.served[1]
+        assert second.outcome == "timeout"
+        assert second.messages == 0
+        assert system.executions == 1
+        assert report.goodput == 0.0
+
+    def test_legacy_loop_untouched_without_admission(self):
+        system = FakeSystem(depth=5)
+        requests = [_request(i, 0.001 * i) for i in range(12)]
+        service = QueryService(system)
+        report = service.run(_schedule(requests))
+        assert report.executed == 12
+        assert report.policy is None
+        assert report.as_dict()["schema"] == "serve-report/1"
+
+
+class TestServiceRetries:
+    def test_partial_result_is_retried_within_budget(self):
+        system = FakeSystem(outcomes=["partial", "ok"], cost=10)
+        service = QueryService(system, retry=RetryPolicy(budget=2))
+        report = service.run(_schedule([_request(0, 0.0)]))
+        served = report.served[0]
+        assert served.outcome == "executed"
+        assert served.retries == 1
+        assert served.messages == 20  # original + the retry, both charged
+        assert service.retry_tokens == 1
+        # Backoff extends the latency beyond the radio round trip.
+        assert served.latency_s > 2 * system.depth * service.hop_latency
+
+    def test_exhausted_budget_reports_partial(self):
+        system = FakeSystem(outcomes=["partial", "partial", "partial"])
+        service = QueryService(system, retry=RetryPolicy(budget=1))
+        report = service.run(
+            _schedule([_request(0, 0.0), _request(1, 1.0, query=QB)])
+        )
+        assert [s.outcome for s in report.served] == ["partial", "partial"]
+        # Only the first request had a token to spend.
+        assert report.served[0].retries == 1
+        assert report.served[1].retries == 0
+        assert service.retry_tokens == 0
+        assert 0.0 < report.served[0].completeness < 1.0
+
+    def test_no_retry_without_policy(self):
+        system = FakeSystem(outcomes=["partial"])
+        service = QueryService(system)
+        report = service.run(_schedule([_request(0, 0.0)]))
+        assert report.served[0].outcome == "partial"
+        assert system.executions == 1
+
+
+class TestServiceBreaker:
+    def test_breaker_opens_and_serves_stale(self):
+        system = FakeSystem(outcomes=["ok", "partial"])
+        cache = PlanResultCache()
+        service = QueryService(
+            system,
+            cache=cache,
+            breaker=BreakerPolicy(threshold=1, cooldown_s=100.0),
+        )
+        assert cache.keep_stale  # flipped on by the breaker wiring
+        # A complete answer lands in the cache, then gets invalidated.
+        service.run(_schedule([_request(0, 0.0)]))
+        cache.invalidate_all()
+        assert cache.stale_entries() == 1
+        # A partial execution trips the breaker; the repeated query is
+        # then served stale, the novel one is shed.
+        report = service.run(
+            _schedule(
+                [
+                    _request(1, 0.0, query=QB),
+                    _request(2, 1.0),
+                    _request(3, 2.0, query=RangeQuery.partial(3, {1: (0.0, 0.1)})),
+                ]
+            )
+        )
+        assert [s.outcome for s in report.served] == ["partial", "stale", "shed"]
+        assert report.breaker_trips == 1
+        assert report.stale_served == 1
+        assert system.executions == 2  # nothing executed while open
+        service.close()
+
+    def test_half_open_probe_closes_on_success(self):
+        system = FakeSystem(outcomes=["partial", "ok"])
+        service = QueryService(
+            system, breaker=BreakerPolicy(threshold=1, cooldown_s=0.5)
+        )
+        report = service.run(
+            _schedule([_request(0, 0.0), _request(1, 1.0, query=QB)])
+        )
+        # Cooldown ended before request 1: it probes, succeeds, closes.
+        assert [s.outcome for s in report.served] == ["partial", "executed"]
+        assert service.breaker is not None
+        assert not service.breaker.is_open(2.0)
+        assert service.breaker.consecutive_failures == 0
+
+
+arrival_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.integers(min_value=0, max_value=4),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestSheddingProperties:
+    @given(arrival_lists, st.integers(1, 5), st.sampled_from(SHED_POLICIES))
+    @settings(
+        deadline=None,
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_capacity_respected_and_outcomes_exactly_once(
+        self, arrivals, capacity, policy
+    ):
+        """The two shedding invariants the admission layer guarantees.
+
+        1. The queue never holds more than ``capacity`` requests, no
+           matter the arrival pattern or shed policy.
+        2. Every offered request ends in exactly one terminal outcome.
+        """
+        arrivals = sorted(arrivals)
+        requests = [
+            _request(i, t, sink=sink) for i, (t, sink) in enumerate(arrivals)
+        ]
+        system = FakeSystem(depth=5)
+        service = QueryService(
+            system,
+            admission=AdmissionPolicy(
+                capacity=capacity, shed_policy=policy, deadline_s=0.5
+            ),
+        )
+        report = service.run(_schedule(requests))
+        assert service._queue.max_depth <= capacity
+        assert sorted(s.request_id for s in report.served) == list(
+            range(len(requests))
+        )
+        assert all(s.outcome in TERMINAL_OUTCOMES for s in report.served)

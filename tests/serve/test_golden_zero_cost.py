@@ -1,0 +1,60 @@
+"""Zero-cost guarantee: the robustness layer is invisible when unused.
+
+The two golden files were captured from the serve CLI *before* the
+admission/retry/breaker/chaos layer existed.  A default run (no
+robustness flags) must reproduce them byte-for-byte — same SLO report
+JSON, same telemetry JSONL — proving the new layer adds nothing to the
+default path: no schema bump, no extra records, no perturbed RNG
+streams, no changed accounting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.cli import main
+
+GOLDEN = Path(__file__).parent / "golden"
+ARGS = [
+    "serve",
+    "--size", "100",
+    "--duration", "15",
+    "--rate", "2",
+    "--pattern", "bursts",
+    "--seed", "0",
+    "--quiet",
+]
+
+
+@pytest.fixture(scope="module")
+def default_run(tmp_path_factory):
+    """One default serve run via the real CLI entry point."""
+    out = tmp_path_factory.mktemp("serve_golden")
+    slo = out / "slo.json"
+    telemetry = out / "telemetry.jsonl"
+    rc = main(
+        [*ARGS, "--slo-report", str(slo), "--telemetry", str(telemetry)]
+    )
+    assert rc == 0
+    return slo, telemetry
+
+
+class TestDefaultRunIsByteIdentical:
+    def test_slo_report_matches_the_pre_layer_golden(self, default_run):
+        slo, _ = default_run
+        golden = (GOLDEN / "serve_run_prepr.json").read_bytes()
+        assert slo.read_bytes() == golden
+
+    def test_telemetry_matches_the_pre_layer_golden(self, default_run):
+        _, telemetry = default_run
+        golden = (GOLDEN / "serve_telemetry_prepr.jsonl").read_bytes()
+        assert telemetry.read_bytes() == golden
+
+    def test_golden_report_is_schema_one(self):
+        # Belt and braces: the golden itself must not carry robust keys.
+        text = (GOLDEN / "serve_run_prepr.json").read_text()
+        assert '"serve-run/1"' in text
+        assert '"conditions"' not in text
+        assert '"goodput"' not in text

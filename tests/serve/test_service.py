@@ -9,7 +9,7 @@ from repro.core.system import PoolSystem
 from repro.events.event import Event
 from repro.events.generators import QueryWorkload, generate_events
 from repro.events.queries import RangeQuery
-from repro.exceptions import DimensionMismatchError
+from repro.exec import check_query_dimensions
 from repro.network.messages import MessageCategory
 from repro.serve import (
     PlanResultCache,
@@ -168,10 +168,35 @@ class TestTiming:
 
 class TestValidationAndTeardown:
     def test_wrong_dimensionality_is_rejected(self, pool):
-        service = QueryService(pool)
-        with pytest.raises(DimensionMismatchError):
-            service.run(_repeat_schedule(RangeQuery.partial(2, {}), [0.0]))
-        service.close()
+        """A malformed request is rejected; the service keeps serving.
+
+        Regression: ``check_query_dimensions`` used to raise straight out
+        of ``run()``, killing the whole service run over one bad client.
+        """
+        bad = RangeQuery.partial(2, {})
+        good = RangeQuery.partial(3, {0: (0.2, 0.8)})
+        requests = (
+            ServeRequest(request_id=0, time=0.0, sink=0, query=bad),
+            ServeRequest(request_id=1, time=1.0, sink=0, query=good),
+        )
+        schedule = ServeSchedule(requests=requests, duration=2.0)
+        with QueryService(pool) as service:
+            report = service.run(schedule)
+        assert report.rejected == 1
+        assert report.executed == 1
+        rejected = report.served[0]
+        assert rejected.outcome == "rejected"
+        assert rejected.messages == 0
+        assert check_query_dimensions is not None  # the validator still exists
+
+    def test_context_manager_closes_on_exception(self, pool):
+        cache = PlanResultCache()
+        with pytest.raises(RuntimeError):
+            with QueryService(pool, cache=cache) as service:
+                assert len(pool.insert_listeners) == 1
+                assert service is not None
+                raise RuntimeError("boom")
+        assert pool.insert_listeners == []
 
     def test_negative_parameters_are_rejected(self, pool):
         with pytest.raises(ValueError):

@@ -1,0 +1,36 @@
+"""REP002/REP003 bad fixture: admission control that cheats.
+
+Deadlines read the wall clock (reports differ per machine) and the
+shedding victim is picked by iterating a bare set (hash-order decides
+who gets dropped — the one choice that must be reproducible).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class LeakyQueue:
+    """Bounded queue with wall-clock deadlines and unordered shedding."""
+
+    def __init__(self, capacity: int, deadline_s: float) -> None:
+        self.capacity = capacity
+        self.deadline_s = deadline_s
+        self._pending: set[int] = set()
+        self._admitted_at: dict[int, float] = {}
+
+    def offer(self, request_id: int) -> int | None:
+        self._admitted_at[request_id] = time.time()  # expect: REP002
+        self._pending.add(request_id)
+        if len(self._pending) <= self.capacity:
+            return None
+        candidates = set(self._pending)
+        for victim in candidates:  # expect: REP003
+            self._pending.discard(victim)
+            return victim
+        return None
+
+    def expired(self) -> list[int]:
+        cutoff = time.time() - self.deadline_s  # expect: REP002
+        late = {r for r, at in self._admitted_at.items() if at < cutoff}
+        return [request for request in late]  # expect: REP003

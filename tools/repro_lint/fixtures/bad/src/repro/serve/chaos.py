@@ -1,0 +1,26 @@
+"""REP001/REP003 bad fixture: chaos scenarios from ambient randomness.
+
+Fault placement minted from raw generators can never reproduce a
+scenario from its seed, and killing nodes in set order makes even a
+fixed draw sequence land on different victims across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def generate_deaths(nodes: set[int], deaths: int) -> list[tuple[int, int]]:
+    rng = np.random.default_rng()  # expect: REP001
+    plan: list[tuple[int, int]] = []
+    for node in nodes:  # expect: REP003
+        if len(plan) == deaths:
+            break
+        at = int(rng.integers(1, 2000))
+        plan.append((at, node))
+    return plan
+
+
+def degradation_windows(count: int) -> list[int]:
+    starts = np.random.rand(count)  # expect: REP001
+    return [int(start * 1700) for start in starts]

@@ -1,0 +1,31 @@
+"""REP002/REP003 good fixture: admission control on simulated time.
+
+Deadlines come from the caller's simulated clock and the shedding
+victim is chosen by an explicit, total ordering.
+"""
+
+from __future__ import annotations
+
+
+class BoundedQueue:
+    """Bounded queue with injected time and deterministic shedding."""
+
+    def __init__(self, capacity: int, deadline_s: float) -> None:
+        self.capacity = capacity
+        self.deadline_s = deadline_s
+        self._pending: list[int] = []
+        self._admitted_at: dict[int, float] = {}
+
+    def offer(self, request_id: int, now: float) -> int | None:
+        self._admitted_at[request_id] = now
+        self._pending.append(request_id)
+        if len(self._pending) <= self.capacity:
+            return None
+        victim = max(self._pending)  # newest id loses, always
+        self._pending.remove(victim)
+        return victim
+
+    def expired(self, now: float) -> list[int]:
+        cutoff = now - self.deadline_s
+        late = {r for r, at in self._admitted_at.items() if at < cutoff}
+        return sorted(late)

@@ -1,0 +1,21 @@
+"""REP001/REP003 good fixture: chaos scenarios from a derived stream.
+
+The generator arrives as a parameter (minted by the rng module's
+``derive``) and eligible nodes are sorted before any draw indexes into
+them, so ``(seed, spec)`` pins the whole scenario.
+"""
+
+from __future__ import annotations
+
+
+def generate_deaths(rng, nodes: set[int], deaths: int) -> list[tuple[int, int]]:
+    eligible = sorted(nodes)
+    plan: list[tuple[int, int]] = []
+    for node in eligible[:deaths]:
+        at = int(rng.integers(1, 2000))
+        plan.append((at, node))
+    return plan
+
+
+def degradation_windows(rng, count: int) -> list[int]:
+    return [int(rng.integers(0, 1700)) for _ in range(count)]
